@@ -1,0 +1,208 @@
+// Package main_test hosts the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation (regenerating its
+// rows/series via internal/experiments), plus micro-benchmarks of the
+// performance-critical substrates.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks execute at Quick fidelity per iteration; use
+// cmd/benchtab -full for evaluation-default budgets.
+package main_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/experiments"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// --- experiment regeneration: one benchmark per table/figure ---------------
+
+func BenchmarkFig1aPaGraphTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1a(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1b2PGraphAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1b(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5MinibatchEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ParetoFronts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2EstimatorValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ----------
+
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPruning(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCachePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationCachePolicy(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPipeline(io.Discard, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkNodeWiseSampling(b *testing.B) {
+	d := dataset.MustLoad(dataset.Reddit2)
+	s := &sample.NodeWise{Fanouts: []int{25, 10}}
+	rng := rand.New(rand.NewSource(1))
+	targets := d.TrainIdx[:1024]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb := s.Sample(rng, d.Graph, targets)
+		if mb.NumVertices == 0 {
+			b.Fatal("empty batch")
+		}
+	}
+}
+
+func BenchmarkSubgraphSampling(b *testing.B) {
+	d := dataset.MustLoad(dataset.Reddit2)
+	s := &sample.SubgraphWise{WalkLength: 12, Layers: 2}
+	rng := rand.New(rand.NewSource(1))
+	targets := d.TrainIdx[:512]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mb := s.Sample(rng, d.Graph, targets)
+		if mb.NumVertices == 0 {
+			b.Fatal("empty batch")
+		}
+	}
+}
+
+func BenchmarkSAGEForwardBackward(b *testing.B) {
+	d := dataset.MustLoad(dataset.Reddit2)
+	g := d.Graph
+	s := &sample.NodeWise{Fanouts: []int{10, 5}}
+	rng := rand.New(rand.NewSource(1))
+	mb := s.Sample(rng, g, d.TrainIdx[:512])
+	mdl, err := model.New(model.Config{
+		Kind: model.SAGE, InDim: g.FeatDim, Hidden: 64, OutDim: g.NumClasses,
+		Layers: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats := model.GatherFeatures(g, mb.InputNodes)
+	labels := make([]int32, len(mb.Targets))
+	for i, v := range mb.Targets {
+		labels[i] = g.Labels[v]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits, err := mdl.Forward(mb, feats, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grad := tensor.New(logits.Rows, logits.Cols)
+		mdl.Backward(grad)
+	}
+}
+
+func BenchmarkBackendEpoch(b *testing.B) {
+	cfg, err := backend.FromTemplate(backend.TemplatePyG, dataset.Reddit2, model.SAGE, "rtx4090")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.RunWith(cfg, backend.Options{SkipTraining: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimatorPredict(b *testing.B) {
+	recs, err := estimator.CollectCached(dataset.OgbnArxiv, model.SAGE, "rtx4090", 12, 7, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := estimator.Train(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := recs[0].Cfg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Predict(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.New(256, 256)
+	n := tensor.New(256, 256)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+		n.Data[i] = rng.NormFloat64()
+	}
+	out := tensor.New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, m, n)
+	}
+}

@@ -1,0 +1,75 @@
+// Command benchtab regenerates the paper's tables and figures on the Go
+// reproduction stack and prints them as text.
+//
+// Example:
+//
+//	benchtab -exp table1            # one experiment
+//	benchtab -exp all -full         # everything at full fidelity
+//
+// Experiments: fig1a, fig1b, fig5, fig6, table1, table2,
+// ablation-pruning, ablation-cache, ablation-pipeline, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"gnnavigator/internal/experiments"
+)
+
+type runner func(io.Writer, experiments.Fidelity) error
+
+func wrap[T any](f func(io.Writer, experiments.Fidelity) (T, error)) runner {
+	return func(w io.Writer, fi experiments.Fidelity) error {
+		_, err := f(w, fi)
+		return err
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp  = flag.String("exp", "all", "experiment to regenerate")
+		full = flag.Bool("full", false, "full fidelity (slower, evaluation defaults)")
+	)
+	flag.Parse()
+
+	fidelity := experiments.Quick
+	if *full {
+		fidelity = experiments.Full
+	}
+	all := []struct {
+		name string
+		run  runner
+	}{
+		{"fig1a", wrap(experiments.RunFig1a)},
+		{"fig1b", wrap(experiments.RunFig1b)},
+		{"fig5", wrap(experiments.RunFig5)},
+		{"table1", wrap(experiments.RunTable1)},
+		{"fig6", wrap(experiments.RunFig6)},
+		{"table2", wrap(experiments.RunTable2)},
+		{"ablation-pruning", wrap(experiments.RunAblationPruning)},
+		{"ablation-cache", wrap(experiments.RunAblationCachePolicy)},
+		{"ablation-pipeline", wrap(experiments.RunAblationPipeline)},
+	}
+
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := e.run(os.Stdout, fidelity); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,118 @@
+// Command gnnavigator runs the full adaptive-training workflow from the
+// command line: calibrate the estimator, explore the design space under
+// the given requirements, print the guideline, and (optionally) train
+// with it.
+//
+// Example:
+//
+//	gnnavigator -dataset reddit2 -model sage -platform rtx4090 \
+//	    -priority ex-tm -max-mem 1.5 -train
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gnnavigator/internal/core"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/hw"
+	"gnnavigator/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dsName    = flag.String("dataset", dataset.Reddit2, "dataset name: "+strings.Join(dataset.Names(), ", "))
+		modelName = flag.String("model", "sage", "GNN architecture: gcn, sage, gat")
+		platform  = flag.String("platform", "rtx4090", "hardware platform profile")
+		priority  = flag.String("priority", "balance", "guideline priority: balance, ex-tm, ex-ma, ex-ta")
+		maxMem    = flag.Float64("max-mem", 0, "memory budget in GB (0 = unconstrained)")
+		maxTime   = flag.Float64("max-time", 0, "epoch time budget in seconds (0 = unconstrained)")
+		minAcc    = flag.Float64("min-acc", 0, "minimum accuracy in [0,1] (0 = unconstrained)")
+		samples   = flag.Int("calib-samples", 14, "estimator calibration probes per dataset")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if _, ok := hw.Profiles()[*platform]; !ok {
+		log.Fatalf("unknown platform %q; have: rtx4090, rtx4090-8g, a100, m90, m90-2g", *platform)
+	}
+	kind := model.Kind(*modelName)
+	switch kind {
+	case model.GCN, model.SAGE, model.GAT:
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	prio := dse.Priority(*priority)
+	valid := false
+	for _, p := range dse.Priorities() {
+		if p == prio {
+			valid = true
+		}
+	}
+	if !valid {
+		log.Fatalf("unknown priority %q", *priority)
+	}
+
+	fmt.Fprintf(os.Stderr, "calibrating estimator (leave-one-out over %v)...\n", otherDatasets(*dsName))
+	nav, err := core.New(core.Input{
+		Dataset:  *dsName,
+		Model:    kind,
+		Platform: *platform,
+		Priority: prio,
+		Constraints: dse.Constraints{
+			MaxTimeSec:  *maxTime,
+			MaxMemoryGB: *maxMem,
+			MinAccuracy: *minAcc,
+		},
+		CalibSamples: *samples,
+		Epochs:       *epochs,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatalf("calibration failed: %v", err)
+	}
+
+	g, err := nav.Explore()
+	if err != nil {
+		log.Fatalf("exploration failed: %v", err)
+	}
+	fmt.Printf("explored %d candidates (%d pruned); Pareto front: %d points\n",
+		g.Explored, g.Pruned, len(g.Pareto))
+	fmt.Printf("\nguidelines per priority:\n")
+	for _, p := range dse.Priorities() {
+		pt := g.PerPriority[p]
+		marker := " "
+		if p == prio {
+			marker = ">"
+		}
+		fmt.Printf("%s %-8s %-46s pred T=%.2fs Γ=%.2fGB Acc=%.1f%%\n",
+			marker, p, pt.Cfg.Label(), pt.Pred.TimeSec, pt.Pred.MemoryGB, 100*pt.Pred.Accuracy)
+	}
+
+	if *doTrain {
+		fmt.Println("\ntraining with the chosen guideline...")
+		perf, err := nav.Train(g.Chosen.Cfg)
+		if err != nil {
+			log.Fatalf("training failed: %v", err)
+		}
+		fmt.Printf("measured: T=%.2fs Γ=%.2fGB Acc=%.1f%% (hit rate %.0f%%, %d iterations)\n",
+			perf.TimeSec, perf.MemoryGB, 100*perf.Accuracy, 100*perf.HitRate, perf.Iterations)
+	}
+}
+
+func otherDatasets(target string) []string {
+	var out []string
+	for _, n := range dataset.Names() {
+		if n != target {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Adaptive: the Fig. 6 scenario — one application, different priorities.
+//
+// The same Navigator session produces different guidelines depending on
+// which performance metrics the application emphasizes: a balanced
+// profile, a time+memory extreme (edge deployment), a memory+accuracy
+// extreme (shared GPU), and a time+accuracy extreme (deadline training).
+// Each guideline is then executed for real and compared against its
+// prediction.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnnavigator/internal/core"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Adaptive guidelines on Reddit2 + SAGE: one explorer, four priorities")
+
+	nav, err := core.New(core.Input{
+		Dataset:       dataset.Reddit2,
+		Model:         model.SAGE,
+		Platform:      "rtx4090",
+		CalibDatasets: []string{dataset.OgbnArxiv, dataset.OgbnProducts},
+		CalibSamples:  12,
+		Epochs:        3,
+		Space: dse.Space{
+			BatchSizes:  []int{512, 1024, 2048},
+			FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}, {25, 10}},
+			CacheRatios: []float64{0, 0.08, 0.15, 0.3, 0.45},
+			BiasRates:   []float64{0, 0.9},
+			Hiddens:     []int{32, 64},
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		log.Fatalf("calibration: %v", err)
+	}
+	g, err := nav.Explore()
+	if err != nil {
+		log.Fatalf("exploration: %v", err)
+	}
+	fmt.Printf("explored %d candidates, Pareto front %d points\n\n", g.Explored, len(g.Pareto))
+	fmt.Printf("%-8s %-44s %18s %18s\n", "priority", "guideline", "predicted T/Γ/Acc", "measured T/Γ/Acc")
+	for _, p := range dse.Priorities() {
+		pt := g.PerPriority[p]
+		perf, err := nav.Train(pt.Cfg)
+		if err != nil {
+			log.Fatalf("train %s: %v", p, err)
+		}
+		fmt.Printf("%-8s %-44s %5.2fs %5.2fGB %4.1f%% %5.2fs %5.2fGB %4.1f%%\n",
+			p, pt.Cfg.Label(),
+			pt.Pred.TimeSec, pt.Pred.MemoryGB, 100*pt.Pred.Accuracy,
+			perf.TimeSec, perf.MemoryGB, 100*perf.Accuracy)
+	}
+
+	// A constrained scenario: the same exploration under a hard memory
+	// budget, as an application on a small device would impose.
+	fmt.Println("\nSame application under a 1.2 GB device-memory budget:")
+	nav2, err := core.New(core.Input{
+		Dataset:       dataset.Reddit2,
+		Model:         model.SAGE,
+		Platform:      "rtx4090",
+		Constraints:   dse.Constraints{MaxMemoryGB: 1.2},
+		CalibDatasets: []string{dataset.OgbnArxiv, dataset.OgbnProducts},
+		CalibSamples:  12,
+		Epochs:        3,
+		Space: dse.Space{
+			BatchSizes:  []int{512, 1024, 2048},
+			FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}, {25, 10}},
+			CacheRatios: []float64{0, 0.08, 0.15, 0.3, 0.45},
+			BiasRates:   []float64{0, 0.9},
+			Hiddens:     []int{32, 64},
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		log.Fatalf("constrained calibration: %v", err)
+	}
+	g2, err := nav2.Explore()
+	if err != nil {
+		log.Fatalf("constrained exploration: %v", err)
+	}
+	pt := g2.PerPriority[dse.Balance]
+	fmt.Printf("balance guideline: %s (predicted Γ=%.2f GB, %d candidates pruned)\n",
+		pt.Cfg.Label(), pt.Pred.MemoryGB, g2.Pruned)
+}

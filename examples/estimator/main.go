@@ -1,0 +1,75 @@
+// Estimator: train and validate the gray-box performance estimator.
+//
+// Demonstrates the Fig. 5 comparison (gray-box vs black-box mini-batch
+// size prediction) and the Table 2 validation metrics (R² for T and Γ,
+// MSE for Acc) on a held-out dataset.
+//
+// Run with: go run ./examples/estimator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/regress"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Gray-box estimator walkthrough")
+	fmt.Println("collecting ground truth on Ogbn-arxiv (train) and Reddit2 (held out)...")
+
+	trainRecs, err := estimator.CollectCached(dataset.OgbnArxiv, model.SAGE, "rtx4090", 20, 7, true)
+	if err != nil {
+		log.Fatalf("collect train: %v", err)
+	}
+	testRecs, err := estimator.CollectCached(dataset.Reddit2, model.SAGE, "rtx4090", 14, 8, true)
+	if err != nil {
+		log.Fatalf("collect test: %v", err)
+	}
+
+	gray, err := estimator.Train(trainRecs)
+	if err != nil {
+		log.Fatalf("train gray-box: %v", err)
+	}
+	black, err := estimator.TrainBlackBoxBatchSize(trainRecs)
+	if err != nil {
+		log.Fatalf("train black-box: %v", err)
+	}
+
+	fmt.Println("\nFig. 5-style scatter: measured vs predicted mini-batch size |Vi|")
+	fmt.Printf("%12s %12s %12s\n", "measured", "gray-box", "black-box")
+	var gp, bp, truth []float64
+	for _, r := range testRecs {
+		g := gray.PredictBatchSize(r.Cfg, r.Stats)
+		b := black.Predict(r.Cfg)
+		gp = append(gp, g)
+		bp = append(bp, b)
+		truth = append(truth, r.Perf.MeanBatchSize)
+		fmt.Printf("%12.0f %12.0f %12.0f\n", r.Perf.MeanBatchSize, g, b)
+	}
+	fmt.Printf("gray-box  R2=%.3f  MSE=%.0f\n", regress.R2(gp, truth), regress.MSE(gp, truth))
+	fmt.Printf("black-box R2=%.3f  MSE=%.0f\n", regress.R2(bp, truth), regress.MSE(bp, truth))
+
+	fmt.Println("\nTable 2-style validation on the held-out dataset:")
+	v, err := estimator.Validate(gray, testRecs)
+	if err != nil {
+		log.Fatalf("validate: %v", err)
+	}
+	fmt.Printf("R2(T)=%.4f  R2(Γ)=%.4f  MSE(Acc)=%.4f  R2(|Vi|)=%.4f  (n=%d)\n",
+		v.R2Time, v.R2Memory, v.MSEAcc, v.R2Batch, v.NumTested)
+
+	fmt.Println("\nPer-config predictions vs ground truth:")
+	fmt.Printf("%-44s %16s %16s\n", "config", "pred T/Γ", "true T/Γ")
+	for _, r := range testRecs[:5] {
+		p, err := gray.Predict(r.Cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-44s %7.2fs %6.2fGB %7.2fs %6.2fGB\n",
+			r.Cfg.Label(), p.TimeSec, p.MemoryGB, r.Perf.TimeSec, r.Perf.MemoryGB)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: the minimal end-to-end GNNavigator workflow of Fig. 2.
+//
+//  1. Declare the application: dataset, GNN model, hardware platform and
+//     a performance priority.
+//  2. Let the Navigator calibrate its gray-box estimator and explore the
+//     design space for a training guideline.
+//  3. Execute the guideline on the reconfigurable runtime backend.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gnnavigator/internal/core"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("GNNavigator quickstart: Reddit2 + GraphSAGE on an RTX 4090 platform")
+	fmt.Println("Step 1: input analysis + estimator calibration (leave-one-out probing)...")
+
+	nav, err := core.New(core.Input{
+		Dataset:  dataset.Reddit2,
+		Model:    model.SAGE,
+		Platform: "rtx4090",
+		Priority: dse.Balance,
+		// Small calibration budget so the quickstart finishes fast; the
+		// benchmark harness uses bigger budgets.
+		CalibDatasets: []string{dataset.OgbnArxiv},
+		CalibSamples:  12,
+		Epochs:        3,
+		Space: dse.Space{
+			BatchSizes:  []int{512, 1024, 2048},
+			FanoutSets:  [][]int{{5, 5}, {10, 5}, {25, 10}},
+			CacheRatios: []float64{0, 0.15, 0.45},
+			BiasRates:   []float64{0, 0.9},
+			Hiddens:     []int{64},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatalf("calibration failed: %v", err)
+	}
+
+	fmt.Println("Step 2: automatic guideline exploration...")
+	g, err := nav.Explore()
+	if err != nil {
+		log.Fatalf("exploration failed: %v", err)
+	}
+	fmt.Printf("  explored %d candidates (%d pruned), Pareto front has %d points\n",
+		g.Explored, g.Pruned, len(g.Pareto))
+	fmt.Printf("  chosen guideline: %s\n", g.Chosen.Cfg.Label())
+	fmt.Printf("  predicted: T=%.2fs Γ=%.2fGB Acc=%.1f%%\n",
+		g.Chosen.Pred.TimeSec, g.Chosen.Pred.MemoryGB, 100*g.Chosen.Pred.Accuracy)
+
+	fmt.Println("Step 3: training with the guideline...")
+	perf, err := nav.Train(g.Chosen.Cfg)
+	if err != nil {
+		log.Fatalf("training failed: %v", err)
+	}
+	fmt.Printf("  measured: T=%.2fs Γ=%.2fGB Acc=%.1f%% (cache hit rate %.0f%%)\n",
+		perf.TimeSec, perf.MemoryGB, 100*perf.Accuracy, 100*perf.HitRate)
+	if !perf.Feasible {
+		fmt.Println("  WARNING: configuration exceeds device memory")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Templates: reproduce existing GNN training systems on the unified
+// reconfigurable backend (Fig. 3) and profile the Fig. 1 trade-offs.
+//
+// Each template is just a configuration preset — PyG (no cache), PaGraph
+// (static degree-ordered cache), 2PGraph (cache-aware biased sampling),
+// GraphSAINT (random-walk subgraphs), FastGCN (layer-wise sampling) — so
+// "reproducing a system" is a one-line reconfiguration.
+//
+// Run with: go run ./examples/templates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("Reproducing existing systems via backend templates (Reddit2 + SAGE)")
+	fmt.Printf("%-10s %10s %10s %10s %8s\n", "template", "T(s)", "Γ(GB)", "acc", "hit")
+
+	var pyg *backend.Perf
+	for _, tpl := range backend.Templates() {
+		cfg, err := backend.FromTemplate(tpl, dataset.Reddit2, model.SAGE, "rtx4090")
+		if err != nil {
+			log.Fatalf("template %s: %v", tpl, err)
+		}
+		cfg.Epochs = 3
+		perf, err := backend.Run(cfg)
+		if err != nil {
+			log.Fatalf("run %s: %v", tpl, err)
+		}
+		fmt.Printf("%-10s %10.3f %10.3f %9.1f%% %7.0f%%\n",
+			tpl, perf.TimeSec, perf.MemoryGB, 100*perf.Accuracy, 100*perf.HitRate)
+		if tpl == backend.TemplatePyG {
+			pyg = perf
+		}
+	}
+
+	fmt.Println("\nFig. 1a-style PaGraph sweep: cache memory buys epoch time")
+	fmt.Printf("%-12s %12s %12s\n", "cacheRatio", "Γ(GB)", "T(s)")
+	for _, ratio := range []float64{0.1, 0.3, 0.5} {
+		cfg, err := backend.FromTemplate(backend.TemplatePaFull, dataset.Reddit2, model.SAGE, "rtx4090")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.CacheRatio = ratio
+		cfg.Epochs = 1
+		perf, err := backend.RunWith(cfg, backend.Options{SkipTraining: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.2f %12.3f %12.3f\n", ratio, perf.MemoryGB, perf.TimeSec)
+	}
+	if pyg != nil {
+		fmt.Printf("\n(PyG reference: T=%.3fs Γ=%.3fGB)\n", pyg.TimeSec, pyg.MemoryGB)
+	}
+}

@@ -1,0 +1,198 @@
+// Package backend implements GNNavigator's reconfigurable runtime backend
+// (Fig. 3): a single parameterized training engine whose configuration
+// space subsumes the systems the paper compares against. A Config selects
+// sampler, hop list, bias rate, cache ratio and policy, model architecture
+// and batch size; Run executes real mini-batch training on the scaled
+// synthetic graph while the simulator (internal/sim) prices every
+// iteration on the chosen hardware platform at paper scale.
+package backend
+
+import (
+	"fmt"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/hw"
+	"gnnavigator/internal/model"
+)
+
+// SamplerKind names a sampling strategy (Fig. 3 "Sampler Choices").
+type SamplerKind string
+
+// Supported sampler kinds.
+const (
+	SamplerSAGE    SamplerKind = "sage"    // node-wise neighbor sampling
+	SamplerFastGCN SamplerKind = "fastgcn" // layer-wise importance sampling
+	SamplerSAINT   SamplerKind = "saint"   // subgraph-wise random walks
+)
+
+// Config is one point in the design space: every blue-dashed reconfigurable
+// setting of Fig. 3.
+type Config struct {
+	// Workload.
+	Dataset  string
+	Platform string // key into hw.Profiles()
+
+	// Cat. 1: sampling.
+	Sampler    SamplerKind
+	BatchSize  int   // |B_0|
+	Fanouts    []int // hop list (node-wise); per-hop vertex budgets are derived for layer-wise
+	WalkLength int   // subgraph-wise only
+	BiasRate   float64
+
+	// Cat. 2: transmission.
+	CacheRatio  float64 // r: fraction of |V| resident on device
+	CachePolicy cache.Policy
+
+	// Cat. 3: model design.
+	Model   model.Kind
+	Hidden  int
+	Layers  int
+	Heads   int
+	Dropout float64
+
+	// Cat. 4: computation.
+	Reorder bool // degree-descending relabel before training
+
+	// Training loop.
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// Validate checks the configuration against the backend's limits.
+func (c Config) Validate() error {
+	if _, err := dataset.Load(c.Dataset); err != nil {
+		return fmt.Errorf("backend: %w", err)
+	}
+	if _, ok := hw.Profiles()[c.Platform]; !ok {
+		return fmt.Errorf("backend: unknown platform %q", c.Platform)
+	}
+	switch c.Sampler {
+	case SamplerSAGE, SamplerFastGCN:
+		if len(c.Fanouts) == 0 {
+			return fmt.Errorf("backend: sampler %q needs a hop list", c.Sampler)
+		}
+		if len(c.Fanouts) != c.Layers {
+			return fmt.Errorf("backend: hop list length %d != layers %d", len(c.Fanouts), c.Layers)
+		}
+	case SamplerSAINT:
+		if c.WalkLength < 1 {
+			return fmt.Errorf("backend: saint sampler needs WalkLength >= 1")
+		}
+	default:
+		return fmt.Errorf("backend: unknown sampler %q", c.Sampler)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("backend: batch size %d < 1", c.BatchSize)
+	}
+	if c.BiasRate < 0 || c.BiasRate > 1 {
+		return fmt.Errorf("backend: bias rate %v out of [0,1]", c.BiasRate)
+	}
+	if c.CacheRatio < 0 || c.CacheRatio > 1 {
+		return fmt.Errorf("backend: cache ratio %v out of [0,1]", c.CacheRatio)
+	}
+	if !c.CachePolicy.Valid() {
+		return fmt.Errorf("backend: unknown cache policy %q", c.CachePolicy)
+	}
+	if c.CacheRatio > 0 && c.CachePolicy == cache.None {
+		return fmt.Errorf("backend: cache ratio %v with policy none", c.CacheRatio)
+	}
+	if c.BiasRate > 0 && c.CacheRatio == 0 {
+		return fmt.Errorf("backend: cache-aware bias needs a cache (ratio > 0)")
+	}
+	if c.Layers < 1 || c.Hidden < 1 {
+		return fmt.Errorf("backend: bad model dims layers=%d hidden=%d", c.Layers, c.Hidden)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("backend: epochs %d < 1", c.Epochs)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("backend: learning rate %v <= 0", c.LR)
+	}
+	return nil
+}
+
+// Template names the configuration presets of Fig. 3 — each reproduces an
+// existing system on the unified backend.
+type Template string
+
+// Built-in templates.
+const (
+	TemplatePyG     Template = "pyg"      // no cache, big fanouts
+	TemplatePaFull  Template = "pa-full"  // PaGraph, ideal memory
+	TemplatePaLow   Template = "pa-low"   // PaGraph, resource-limited
+	Template2PGraph Template = "2pgraph"  // cache-aware biased sampling
+	TemplateSAINT   Template = "saint"    // GraphSAINT random walks
+	TemplateFastGCN Template = "fast-gcn" // FastGCN layer-wise
+)
+
+// Templates lists all presets in presentation order.
+func Templates() []Template {
+	return []Template{TemplatePyG, TemplatePaFull, TemplatePaLow,
+		Template2PGraph, TemplateSAINT, TemplateFastGCN}
+}
+
+// FromTemplate instantiates a template for a dataset/model/platform triple.
+// The returned Config is a starting point; callers may tweak any knob —
+// that is the whole point of the reconfigurable backend.
+func FromTemplate(tpl Template, ds string, kind model.Kind, platform string) (Config, error) {
+	base := Config{
+		Dataset:  ds,
+		Platform: platform,
+		Model:    kind,
+		Hidden:   64,
+		Layers:   2,
+		Heads:    2,
+		Dropout:  0.1,
+		Epochs:   3,
+		LR:       0.01,
+		Seed:     1,
+
+		Sampler:     SamplerSAGE,
+		BatchSize:   1024,
+		Fanouts:     []int{25, 10},
+		CachePolicy: cache.None,
+	}
+	switch tpl {
+	case TemplatePyG:
+		// Stock PyG NeighborLoader defaults: no device cache at all.
+	case TemplatePaFull:
+		// PaGraph: static degree-ordered cache sized to "free" memory,
+		// cache update policy disabled (Fig. 3's template text).
+		base.CacheRatio = 0.45
+		base.CachePolicy = cache.Static
+	case TemplatePaLow:
+		base.CacheRatio = 0.08
+		base.CachePolicy = cache.Static
+	case Template2PGraph:
+		// 2PGraph: cache-aware (locality/biased) sampling against a modest
+		// static cache; compact batches via smaller fanouts. The small
+		// fanouts matter twice: they cut compute, and they leave the
+		// biased p(η) real freedom to prefer cached neighbors.
+		base.Fanouts = []int{10, 5}
+		base.CacheRatio = 0.1
+		base.CachePolicy = cache.Static
+		base.BiasRate = 0.9
+	case TemplateSAINT:
+		base.Sampler = SamplerSAINT
+		base.WalkLength = 12
+		base.BatchSize = 512
+		base.Fanouts = nil
+	case TemplateFastGCN:
+		base.Sampler = SamplerFastGCN
+		base.Fanouts = []int{20, 10} // converted to per-hop budgets at run time
+	default:
+		return Config{}, fmt.Errorf("backend: unknown template %q", tpl)
+	}
+	if err := base.Validate(); err != nil {
+		return Config{}, fmt.Errorf("backend: template %s: %w", tpl, err)
+	}
+	return base, nil
+}
+
+// Label renders a short human-readable identifier for result tables.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s/%s b=%d f=%v r=%.2f/%s bias=%.1f",
+		c.Sampler, c.Model, c.BatchSize, c.Fanouts, c.CacheRatio, c.CachePolicy, c.BiasRate)
+}

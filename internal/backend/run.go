@@ -1,0 +1,402 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/hw"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/sim"
+)
+
+// Perf is the measured performance triple Perf⟨T, Γ, Acc⟩ of §3.1, plus
+// the diagnostics the estimator trains on.
+type Perf struct {
+	// TimeSec is the simulated epoch time T at paper scale (mean over
+	// measured epochs), per Eq. 4.
+	TimeSec float64
+	// MemoryGB is the simulated peak device memory Γ in gigabytes (1e9).
+	MemoryGB float64
+	// Accuracy is the validation accuracy from real training on the
+	// scaled graph.
+	Accuracy float64
+
+	// Feasible is false when Γ exceeds the device's capacity: the config
+	// would OOM and its other numbers are hypothetical.
+	Feasible bool
+
+	// Diagnostics.
+	HitRate         float64
+	MeanBatchSize   float64 // mean measured |V_i| (scaled graph)
+	PeakBatchSize   int
+	PeakBatchEdges  int
+	MeanBatchEdges  float64
+	Breakdown       sim.MemoryBreakdown
+	EpochTimes      []float64
+	AccuracyHistory []float64 // validation accuracy after each epoch
+	TimeBreakdown   sim.BatchTiming
+	WallSec         float64 // actual Go wall-clock spent (informational)
+	Iterations      int
+}
+
+// Options tunes how much real work Run performs; the zero value means
+// "full fidelity".
+type Options struct {
+	// SkipTraining replaces the NN train step with sampling+cache
+	// simulation only. Accuracy is reported as 0 and AccuracyHistory is
+	// empty. Used by timing-only sweeps.
+	SkipTraining bool
+	// EvalBatch limits validation to this many vertices (0 = all).
+	EvalBatch int
+}
+
+// Run executes cfg on the backend and returns its performance.
+func Run(cfg Config) (*Perf, error) { return RunWith(cfg, Options{}) }
+
+// RunWith executes cfg with explicit fidelity options.
+func RunWith(cfg Config, opts Options) (*Perf, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ds, err := dataset.Load(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	if cfg.Reorder {
+		g, err = g.Relabel(g.DegreeReorderPerm())
+		if err != nil {
+			return nil, fmt.Errorf("backend: reorder: %w", err)
+		}
+	}
+	plat := hw.Profiles()[cfg.Platform]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Device cache sized as a fraction of the scaled graph (the ratio is
+	// scale-invariant; memory accounting uses the full-scale ratio).
+	capVertices := int(cfg.CacheRatio * float64(g.NumVertices()))
+	policy := cfg.CachePolicy
+	if capVertices == 0 {
+		policy = cache.None
+	}
+	devCache, err := cache.New(policy, capVertices, g)
+	if err != nil {
+		return nil, err
+	}
+
+	smp, walkSteps, err := buildSampler(cfg, devCache)
+	if err != nil {
+		return nil, err
+	}
+
+	var mdl *model.Model
+	var opt nn.Optimizer
+	if !opts.SkipTraining {
+		mdl, err = model.New(model.Config{
+			Kind: cfg.Model, InDim: g.FeatDim, Hidden: cfg.Hidden,
+			OutDim: g.NumClasses, Layers: cfg.Layers, Heads: cfg.Heads,
+			Dropout: cfg.Dropout, Seed: cfg.Seed + 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt = nn.NewAdam(cfg.LR)
+	} else {
+		// Timing-only sweeps still need FLOPs/param counts.
+		mdl, err = model.New(model.Config{
+			Kind: cfg.Model, InDim: g.FeatDim, Hidden: cfg.Hidden,
+			OutDim: g.NumClasses, Layers: cfg.Layers, Heads: cfg.Heads,
+			Seed: cfg.Seed + 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Effective vertex scale: a full-scale mini-batch is NOT the measured
+	// batch times |V_full|/|V_scaled| — on big graphs fanouts, not graph
+	// size, bound batch growth. The expected full-scale batch follows the
+	// collision (balls-in-bins) form of Eq. 12's overlap penalty:
+	//
+	//	E[|V_i|_full] = N_full · (1 - e^(-bound/N_full))
+	//
+	// with bound = |B_0|·Π(1+k_l) the τ=1 limit. The effective scale is
+	// that expectation divided by the measured batch, capped by the plain
+	// linear scale. Without this, products-scale workloads would absurdly
+	// touch the whole 2.4M-vertex graph every iteration.
+	fullBound := analyticFullBound(cfg, ds)
+	nFull := float64(ds.FullVertices)
+	collisionFull := nFull * (1 - math.Exp(-fullBound/nFull))
+	effScale := func(measuredVi int) float64 {
+		s := ds.Scale
+		if measuredVi > 0 {
+			if b := collisionFull / float64(measuredVi); b < s {
+				s = b
+			}
+		}
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	featShare := featureFLOPShare(cfg, g.FeatDim)
+
+	perf := &Perf{Feasible: true}
+	var sumBatch, sumEdges float64
+	var sumTiming sim.BatchTiming
+	trainRng := rand.New(rand.NewSource(cfg.Seed + 13))
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		batches := sample.EpochBatches(trainRng, ds.TrainIdx, cfg.BatchSize)
+		var timings []sim.BatchTiming
+		for _, targets := range batches {
+			mb := smp.Sample(rng, g, targets)
+			miss := devCache.Lookup(mb.InputNodes)
+			updates := devCache.Update(miss)
+
+			vols := sim.BatchVolumes{
+				SampledVertices:  mb.NumVertices,
+				TargetVertices:   len(targets),
+				InputVertices:    len(mb.InputNodes),
+				MissVertices:     len(miss),
+				CacheUpdateOps:   updates,
+				SampledEdges:     mb.NumEdges,
+				FLOPs:            mdl.FLOPs(mb),
+				FeatureFLOPShare: featShare,
+				ScaledFeatDim:    g.FeatDim,
+				Layers:           cfg.Layers,
+				WalkSteps:        walkSteps * len(targets),
+			}
+			wl := sim.Workload{
+				VertexScale:    effScale(mb.NumVertices),
+				FeatDim:        ds.FullFeatDim,
+				BytesPerScalar: 4,
+			}
+			bt := sim.EstimateBatch(vols, plat, wl)
+			timings = append(timings, bt)
+			sumTiming.TSample += bt.TSample
+			sumTiming.TTransfer += bt.TTransfer
+			sumTiming.TReplace += bt.TReplace
+			sumTiming.TCompute += bt.TCompute
+
+			sumBatch += float64(mb.NumVertices)
+			sumEdges += float64(mb.NumEdges)
+			if mb.NumVertices > perf.PeakBatchSize {
+				perf.PeakBatchSize = mb.NumVertices
+			}
+			if mb.NumEdges > perf.PeakBatchEdges {
+				perf.PeakBatchEdges = mb.NumEdges
+			}
+			perf.Iterations++
+
+			if !opts.SkipTraining {
+				feats := model.GatherFeatures(g, mb.InputNodes)
+				logits, err := mdl.Forward(mb, feats, true)
+				if err != nil {
+					return nil, err
+				}
+				labels := make([]int32, len(mb.Targets))
+				for i, v := range mb.Targets {
+					labels[i] = g.Labels[v]
+				}
+				_, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
+				mdl.Backward(dLogits)
+				opt.Step(mdl.Params())
+			}
+		}
+		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
+		if !opts.SkipTraining {
+			acc, err := Evaluate(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29)
+			if err != nil {
+				return nil, err
+			}
+			perf.AccuracyHistory = append(perf.AccuracyHistory, acc)
+			perf.Accuracy = acc
+		}
+	}
+
+	// Aggregate timing/volumes.
+	n := float64(perf.Iterations)
+	perf.MeanBatchSize = sumBatch / n
+	perf.MeanBatchEdges = sumEdges / n
+	perf.TimeBreakdown = sim.BatchTiming{
+		TSample: sumTiming.TSample / n, TTransfer: sumTiming.TTransfer / n,
+		TReplace: sumTiming.TReplace / n, TCompute: sumTiming.TCompute / n,
+	}
+	var sumEpoch float64
+	for _, t := range perf.EpochTimes {
+		sumEpoch += t
+	}
+	perf.TimeSec = sumEpoch / float64(len(perf.EpochTimes))
+	perf.HitRate = devCache.HitRate()
+
+	// Eq. 9-10 memory at paper scale.
+	hidden := 0
+	for l := 0; l < cfg.Layers; l++ {
+		if l == cfg.Layers-1 {
+			hidden += g.NumClasses
+		} else {
+			hidden += cfg.Hidden
+		}
+	}
+	// Per-edge messages carry the hidden width: scatter-gather frameworks
+	// transform before aggregating whenever the input width exceeds the
+	// output width, so the buffer never exceeds the hidden dimension.
+	wl := sim.Workload{
+		VertexScale:    effScale(perf.PeakBatchSize),
+		FeatDim:        ds.FullFeatDim,
+		BytesPerScalar: 4,
+	}
+	mem := sim.EstimateMemory(sim.MemoryVolumes{
+		ModelParams:       paramsAtFullScale(mdl, ds, cfg),
+		CacheVertices:     cfg.CacheRatio * float64(ds.FullVertices),
+		PeakBatchVertices: perf.PeakBatchSize,
+		PeakBatchEdges:    perf.PeakBatchEdges,
+		HiddenDims:        hidden,
+		MaxWidth:          cfg.Hidden,
+		Layers:            cfg.Layers,
+	}, wl)
+	perf.Breakdown = mem
+	perf.MemoryGB = mem.Total() / 1e9
+	perf.Feasible = sim.FitsDevice(mem, plat, 0.02)
+	perf.WallSec = time.Since(start).Seconds()
+	return perf, nil
+}
+
+// buildSampler wires the configured sampling strategy, including the
+// cache-aware bias (2PGraph) when BiasRate > 0. It returns the per-target
+// random-walk step count for host-cost accounting (SAINT only).
+func buildSampler(cfg Config, devCache *cache.Cache) (sample.Sampler, int, error) {
+	var bias sample.BiasFunc
+	if cfg.BiasRate > 0 {
+		bias = func(v int32) float64 {
+			if devCache.Contains(v) {
+				return 1
+			}
+			return 0
+		}
+	}
+	switch cfg.Sampler {
+	case SamplerSAGE:
+		return &sample.NodeWise{
+			Fanouts:      cfg.Fanouts,
+			Bias:         bias,
+			BiasStrength: cfg.BiasRate * 8, // weight scale for weighted draws
+		}, 0, nil
+	case SamplerFastGCN:
+		// Per-hop budgets: fanout * batch size bounds the layer width.
+		deltas := make([]int, len(cfg.Fanouts))
+		for i, k := range cfg.Fanouts {
+			deltas[i] = k * cfg.BatchSize / 2
+		}
+		return &sample.LayerWise{Deltas: deltas}, 0, nil
+	case SamplerSAINT:
+		return &sample.SubgraphWise{WalkLength: cfg.WalkLength, Layers: cfg.Layers},
+			cfg.WalkLength, nil
+	}
+	return nil, 0, fmt.Errorf("backend: unknown sampler %q", cfg.Sampler)
+}
+
+// analyticFullBound is the τ=1 bound of Eq. 12 at paper scale: the
+// maximum distinct vertices one batch can touch, with fanouts capped by
+// the full-scale average degree.
+func analyticFullBound(cfg Config, ds *dataset.Dataset) float64 {
+	b0 := float64(cfg.BatchSize)
+	switch cfg.Sampler {
+	case SamplerSAINT:
+		return b0 * float64(cfg.WalkLength+1)
+	case SamplerFastGCN:
+		total := b0
+		for _, k := range cfg.Fanouts {
+			total += float64(k) * b0 / 2
+		}
+		return total
+	default:
+		prod := b0
+		for _, k := range cfg.Fanouts {
+			kk := float64(k)
+			if kk > ds.FullAvgDegree {
+				kk = ds.FullAvgDegree
+			}
+			prod *= 1 + kk
+		}
+		return prod
+	}
+}
+
+// featureFLOPShare estimates the fraction of model FLOPs proportional to
+// the input feature dimension: the first layer's dense work dominates when
+// in >> hidden.
+func featureFLOPShare(cfg Config, featDim int) float64 {
+	in := float64(featDim)
+	rest := float64(cfg.Hidden) * float64(maxInt(cfg.Layers-1, 1))
+	return in / (in + rest)
+}
+
+// paramsAtFullScale adjusts |Φ| for the paper-scale input feature
+// dimension: the first layer's weight matrix grows with n_attr.
+func paramsAtFullScale(m *model.Model, ds *dataset.Dataset, cfg Config) int {
+	p := m.NumParams()
+	// First layer in-dim contribution scales from scaled FeatDim to full.
+	delta := (ds.FullFeatDim - ds.Graph.FeatDim) * cfg.Hidden
+	if cfg.Layers == 1 {
+		delta = (ds.FullFeatDim - ds.Graph.FeatDim) * ds.Graph.NumClasses
+	}
+	if cfg.Model == model.SAGE {
+		delta *= 2 // self + neighbor paths
+	}
+	return p + maxInt(delta, 0)
+}
+
+// Evaluate measures accuracy of mdl on the given vertices using a
+// deterministic node-wise sampler with generous fanouts.
+func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64) (float64, error) {
+	if len(idx) == 0 {
+		return 0, fmt.Errorf("backend: empty evaluation set")
+	}
+	if limit > 0 && limit < len(idx) {
+		idx = idx[:limit]
+	}
+	fanouts := make([]int, mdl.Cfg().Layers)
+	for i := range fanouts {
+		fanouts[i] = 15
+	}
+	smp := &sample.NodeWise{Fanouts: fanouts}
+	rng := rand.New(rand.NewSource(seed))
+	var correct, total int
+	const evalBatch = 512
+	for start := 0; start < len(idx); start += evalBatch {
+		end := start + evalBatch
+		if end > len(idx) {
+			end = len(idx)
+		}
+		mb := smp.Sample(rng, g, idx[start:end])
+		feats := model.GatherFeatures(g, mb.InputNodes)
+		logits, err := mdl.Forward(mb, feats, false)
+		if err != nil {
+			return 0, err
+		}
+		labels := make([]int32, len(mb.Targets))
+		for i, v := range mb.Targets {
+			labels[i] = g.Labels[v]
+		}
+		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
+		total += len(labels)
+	}
+	return float64(correct) / float64(total), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

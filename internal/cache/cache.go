@@ -1,0 +1,187 @@
+// Package cache models the device-side feature cache that transmission
+// strategies build on (Fig. 3 "Device Cache"). A cache holds feature rows
+// for up to a fixed number of vertices; each mini-batch looks up its input
+// vertices, transfers the misses over the host-device link, and then
+// (policy permitting) updates the cache.
+//
+// The policies correspond to the paper's templates:
+//
+//   - None:   PyG — nothing is cached, everything is transferred.
+//   - Static: PaGraph — the cache is pre-filled with the highest-degree
+//     vertices and never updated (cachepolicy = None in the template).
+//   - FIFO:   a dynamic policy that admits misses and evicts in insertion
+//     order.
+//   - LRU:    a dynamic policy that evicts the least-recently-used entry.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"gnnavigator/internal/graph"
+)
+
+// Policy names a cache replacement policy.
+type Policy string
+
+// Supported policies.
+const (
+	None   Policy = "none"
+	Static Policy = "static"
+	FIFO   Policy = "fifo"
+	LRU    Policy = "lru"
+)
+
+// Policies lists all supported policies in presentation order.
+func Policies() []Policy { return []Policy{None, Static, FIFO, LRU} }
+
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool {
+	switch p {
+	case None, Static, FIFO, LRU:
+		return true
+	}
+	return false
+}
+
+// Cache is a vertex-feature cache with hit/miss accounting.
+type Cache struct {
+	policy   Policy
+	capacity int
+
+	resident map[int32]*list.Element
+	order    *list.List // FIFO/LRU ordering; front = next eviction victim
+
+	hits, misses   int64
+	updates        int64 // admissions + evictions performed by dynamic policies
+	staticResident map[int32]bool
+}
+
+// New builds a cache with the given policy and capacity (in vertices).
+// For Static, the cache is pre-filled with the capacity highest-degree
+// vertices of g (PaGraph's policy); g may be nil for other policies.
+func New(policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
+	if !policy.Valid() {
+		return nil, fmt.Errorf("cache: unknown policy %q", policy)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	c := &Cache{
+		policy:   policy,
+		capacity: capacity,
+		resident: make(map[int32]*list.Element),
+		order:    list.New(),
+	}
+	if policy == Static {
+		if g == nil {
+			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
+		}
+		c.staticResident = make(map[int32]bool, capacity)
+		for i, v := range g.DegreeOrder() {
+			if i >= capacity {
+				break
+			}
+			c.staticResident[v] = true
+		}
+	}
+	return c, nil
+}
+
+// Policy returns the cache's policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Capacity returns the capacity in vertices.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of currently resident vertices.
+func (c *Cache) Len() int {
+	if c.policy == Static {
+		return len(c.staticResident)
+	}
+	return len(c.resident)
+}
+
+// Contains reports whether v is resident without touching accounting or
+// recency state.
+func (c *Cache) Contains(v int32) bool {
+	if c.policy == Static {
+		return c.staticResident[v]
+	}
+	_, ok := c.resident[v]
+	return ok
+}
+
+// Lookup records an access to each node and returns the subset that missed
+// (these must be transferred from the host). For LRU, hits refresh
+// recency.
+func (c *Cache) Lookup(nodes []int32) (miss []int32) {
+	for _, v := range nodes {
+		if c.policy == Static {
+			if c.staticResident[v] {
+				c.hits++
+			} else {
+				c.misses++
+				miss = append(miss, v)
+			}
+			continue
+		}
+		if el, ok := c.resident[v]; ok {
+			c.hits++
+			if c.policy == LRU {
+				c.order.MoveToBack(el)
+			}
+			continue
+		}
+		c.misses++
+		miss = append(miss, v)
+	}
+	return miss
+}
+
+// Update admits missed vertices according to the policy, evicting as
+// needed, and returns the number of replacement operations performed
+// (the stale-data volume of Eq. 5). None and Static never update.
+func (c *Cache) Update(miss []int32) int {
+	if c.policy == None || c.policy == Static || c.capacity == 0 {
+		return 0
+	}
+	var ops int
+	for _, v := range miss {
+		if _, ok := c.resident[v]; ok {
+			continue
+		}
+		if len(c.resident) >= c.capacity {
+			victim := c.order.Front()
+			if victim == nil {
+				break
+			}
+			delete(c.resident, victim.Value.(int32))
+			c.order.Remove(victim)
+			ops++
+		}
+		c.resident[v] = c.order.PushBack(v)
+		ops++
+	}
+	c.updates += int64(ops)
+	return ops
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Stats returns cumulative (hits, misses, updateOps).
+func (c *Cache) Stats() (hits, misses, updates int64) {
+	return c.hits, c.misses, c.updates
+}
+
+// ResetStats clears accounting but keeps residency.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.updates = 0, 0, 0
+}

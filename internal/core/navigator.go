@@ -1,0 +1,254 @@
+// Package core exposes GNNavigator's top-level API — the three-step
+// workflow of Fig. 2. Users declare their application (dataset, model,
+// hardware platform, requirements and priorities); the Navigator analyzes
+// the inputs and calibrates its gray-box estimator (Step 1), automatically
+// explores the design space for training guidelines (Step 2), and executes
+// the chosen guideline on the reconfigurable runtime backend (Step 3).
+package core
+
+import (
+	"fmt"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/model"
+)
+
+// Input is everything the user supplies (Fig. 2 "User Input").
+type Input struct {
+	// Dataset names the graph to train on (a registered dataset).
+	Dataset string
+	// Model selects the GNN architecture.
+	Model model.Kind
+	// Platform selects the heterogeneous hardware (hw.Profiles key).
+	Platform string
+
+	// Constraints are hard runtime constraints; Priority picks the
+	// emphasis used to choose among satisfying candidates.
+	Constraints dse.Constraints
+	Priority    dse.Priority
+
+	// Space overrides the explored design space (zero value = DefaultSpace).
+	Space dse.Space
+
+	// CalibDatasets are profiled to train the estimator. Default: every
+	// built-in dataset except the target (the paper's leave-one-out rule,
+	// §4.1: "established upon the performance across all the datasets
+	// available, except the one waiting for estimation").
+	CalibDatasets []string
+	// CalibSamples is the number of probe configs per calibration dataset
+	// (default 16).
+	CalibSamples int
+	// AugmentGraphs adds this many random power-law graphs to calibration
+	// (the paper's data enhancement; default 0).
+	AugmentGraphs int
+
+	// Final-training hyperparameters.
+	Layers int     // default 2
+	Heads  int     // default 2 (GAT)
+	Epochs int     // default 3
+	LR     float64 // default 0.01
+
+	Seed int64
+}
+
+// Guidelines is the Navigator's output for Step 2: the chosen training
+// configuration, the per-priority alternatives, and the predicted Pareto
+// front behind them.
+type Guidelines struct {
+	// Chosen is the guideline for the requested priority.
+	Chosen dse.Point
+	// PerPriority maps each emphasis (Bal, Ex-TM, Ex-MA, Ex-TA) to its
+	// decision.
+	PerPriority map[dse.Priority]dse.Point
+	// Pareto is the predicted non-dominated front.
+	Pareto []dse.Point
+	// Explored and Pruned count estimator evaluations and constraint-cut
+	// leaves.
+	Explored, Pruned int
+}
+
+// Navigator is a calibrated exploration session for one application.
+type Navigator struct {
+	in   Input
+	est  *estimator.Estimator
+	base backend.Config
+}
+
+// New performs Step 1 (input analysis and estimator calibration) and
+// returns a ready-to-explore Navigator. Calibration cost is dominated by
+// ground-truth profiling runs: CalibSamples × len(CalibDatasets) backend
+// executions (memoized per process).
+func New(in Input) (*Navigator, error) {
+	if _, err := dataset.Load(in.Dataset); err != nil {
+		return nil, err
+	}
+	if in.Priority == "" {
+		in.Priority = dse.Balance
+	}
+	if in.CalibSamples == 0 {
+		in.CalibSamples = 16
+	}
+	if in.Layers == 0 {
+		in.Layers = 2
+	}
+	if in.Heads == 0 {
+		in.Heads = 2
+	}
+	if in.Epochs == 0 {
+		in.Epochs = 3
+	}
+	if in.LR == 0 {
+		in.LR = 0.01
+	}
+	if in.Space.Size() <= 1 && len(in.Space.BatchSizes) == 0 {
+		in.Space = dse.DefaultSpace()
+	}
+	if len(in.CalibDatasets) == 0 {
+		for _, name := range dataset.Names() {
+			if name != in.Dataset {
+				in.CalibDatasets = append(in.CalibDatasets, name)
+			}
+		}
+	}
+	for _, name := range in.CalibDatasets {
+		if name == in.Dataset {
+			return nil, fmt.Errorf("core: calibration dataset %q equals the target (leave-one-out violated)", name)
+		}
+	}
+
+	var records []estimator.Record
+	for i, name := range in.CalibDatasets {
+		recs, err := estimator.CollectCached(name, in.Model, in.Platform,
+			in.CalibSamples, in.Seed+int64(i)*101, true)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibration on %s: %w", name, err)
+		}
+		records = append(records, recs...)
+	}
+	if in.AugmentGraphs > 0 {
+		augRecords, err := augment(in)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, augRecords...)
+	}
+	est, err := estimator.Train(records)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimator training: %w", err)
+	}
+
+	base := backend.Config{
+		Dataset:     in.Dataset,
+		Platform:    in.Platform,
+		Model:       in.Model,
+		Hidden:      64,
+		Layers:      in.Layers,
+		Heads:       in.Heads,
+		Epochs:      in.Epochs,
+		LR:          in.LR,
+		Seed:        in.Seed,
+		Sampler:     backend.SamplerSAGE,
+		BatchSize:   1024,
+		Fanouts:     defaultFanouts(in.Layers),
+		CachePolicy: cache.None,
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("core: base config: %w", err)
+	}
+	return &Navigator{in: in, est: est, base: base}, nil
+}
+
+// augment profiles random power-law graphs (without accuracy, to keep
+// data enhancement cheap) and returns their records.
+func augment(in Input) ([]estimator.Record, error) {
+	sets, err := dataset.PowerLawAugment(in.Seed+999, in.AugmentGraphs)
+	if err != nil {
+		return nil, err
+	}
+	var records []estimator.Record
+	for i, d := range sets {
+		if err := dataset.Register(d); err != nil {
+			// Already registered by an earlier Navigator in this process.
+			d2, lerr := dataset.Load(d.Name)
+			if lerr != nil {
+				return nil, err
+			}
+			d = d2
+		}
+		cfgs := estimator.ProbeConfigs(d.Name, in.Model, in.Platform, 4, in.Seed+int64(i)*7)
+		recs, err := estimator.Collect(cfgs, false)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, recs...)
+	}
+	return records, nil
+}
+
+func defaultFanouts(layers int) []int {
+	f := make([]int, layers)
+	for i := range f {
+		if i == 0 {
+			f[i] = 25
+		} else {
+			f[i] = 10
+		}
+	}
+	return f
+}
+
+// Estimator exposes the calibrated estimator (for validation tooling).
+func (n *Navigator) Estimator() *estimator.Estimator { return n.est }
+
+// BaseConfig returns the exploration base (dataset/platform/model fixed;
+// the Space varies the rest).
+func (n *Navigator) BaseConfig() backend.Config { return n.base }
+
+// Explore performs Step 2: automatic guideline generation.
+func (n *Navigator) Explore() (*Guidelines, error) {
+	ex := &dse.Explorer{Est: n.est, Space: n.in.Space, Constraints: n.in.Constraints}
+	res, err := ex.Explore(n.base)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guidelines{
+		PerPriority: make(map[dse.Priority]dse.Point, 4),
+		Pareto:      res.Pareto,
+		Explored:    res.Evaluated,
+		Pruned:      res.Pruned,
+	}
+	// Decide over the Pareto front (Fig. 4's decision maker): dominated
+	// candidates can never be the right guideline.
+	for _, p := range dse.Priorities() {
+		pt, err := dse.Decide(res.Pareto, p)
+		if err != nil {
+			return nil, fmt.Errorf("core: no guideline satisfies the constraints: %w", err)
+		}
+		g.PerPriority[p] = pt
+	}
+	g.Chosen = g.PerPriority[n.in.Priority]
+	return g, nil
+}
+
+// Train performs Step 3: execute a guideline configuration for real and
+// return the measured performance.
+func (n *Navigator) Train(cfg backend.Config) (*backend.Perf, error) {
+	return backend.Run(cfg)
+}
+
+// Run chains Explore and Train on the chosen guideline.
+func (n *Navigator) Run() (*Guidelines, *backend.Perf, error) {
+	g, err := n.Explore()
+	if err != nil {
+		return nil, nil, err
+	}
+	perf, err := n.Train(g.Chosen.Cfg)
+	if err != nil {
+		return g, nil, err
+	}
+	return g, perf, nil
+}

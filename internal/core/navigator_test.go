@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/model"
+)
+
+var (
+	navOnce sync.Once
+	navErr  error
+	nav     *Navigator
+)
+
+// sharedNavigator builds one calibrated Navigator for the whole test
+// binary (calibration is the expensive step).
+func sharedNavigator(t *testing.T) *Navigator {
+	t.Helper()
+	navOnce.Do(func() {
+		nav, navErr = New(Input{
+			Dataset:       dataset.Reddit2,
+			Model:         model.SAGE,
+			Platform:      "rtx4090",
+			CalibDatasets: []string{dataset.OgbnArxiv},
+			CalibSamples:  16,
+			Epochs:        2,
+			Space: dse.Space{
+				BatchSizes:  []int{512, 1024},
+				FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}},
+				CacheRatios: []float64{0, 0.15, 0.45},
+				BiasRates:   []float64{0, 0.9},
+				Hiddens:     []int{32},
+			},
+			Seed: 21,
+		})
+	})
+	if navErr != nil {
+		t.Fatalf("New: %v", navErr)
+	}
+	return nav
+}
+
+func TestNewValidatesInput(t *testing.T) {
+	if _, err := New(Input{Dataset: "bogus", Model: model.SAGE, Platform: "rtx4090"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := New(Input{
+		Dataset: dataset.Reddit2, Model: model.SAGE, Platform: "rtx4090",
+		CalibDatasets: []string{dataset.Reddit2},
+	}); err == nil {
+		t.Error("leave-one-out violation accepted")
+	}
+}
+
+func TestExploreProducesGuidelines(t *testing.T) {
+	n := sharedNavigator(t)
+	g, err := n.Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if g.Explored == 0 {
+		t.Error("nothing explored")
+	}
+	if len(g.Pareto) == 0 {
+		t.Error("empty Pareto front")
+	}
+	if len(g.PerPriority) != 4 {
+		t.Errorf("PerPriority has %d entries, want 4", len(g.PerPriority))
+	}
+	if err := g.Chosen.Cfg.Validate(); err != nil {
+		t.Errorf("chosen guideline invalid: %v", err)
+	}
+	// Emphasis sanity: Ex-TM's prediction can't be slower AND hungrier
+	// than Ex-MA's.
+	tm := g.PerPriority[dse.TimeMemory].Pred
+	ma := g.PerPriority[dse.MemoryAccuracy].Pred
+	if tm.TimeSec > ma.TimeSec && tm.MemoryGB > ma.MemoryGB {
+		t.Errorf("Ex-TM (T=%.2f Γ=%.2f) dominated by Ex-MA (T=%.2f Γ=%.2f) on its own objectives",
+			tm.TimeSec, tm.MemoryGB, ma.TimeSec, ma.MemoryGB)
+	}
+}
+
+func TestTrainChosenGuideline(t *testing.T) {
+	n := sharedNavigator(t)
+	g, err := n.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := n.Train(g.Chosen.Cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if perf.Accuracy < 0.3 {
+		t.Errorf("guideline accuracy %.3f below sanity floor", perf.Accuracy)
+	}
+	if !perf.Feasible {
+		t.Error("chosen guideline infeasible when actually run")
+	}
+}
+
+func TestBaseConfigShape(t *testing.T) {
+	n := sharedNavigator(t)
+	base := n.BaseConfig()
+	if base.Dataset != dataset.Reddit2 || base.Model != model.SAGE {
+		t.Errorf("base config wrong: %+v", base)
+	}
+	if len(base.Fanouts) != base.Layers {
+		t.Errorf("base fanouts %v vs layers %d", base.Fanouts, base.Layers)
+	}
+}
+
+func TestConstraintsRespectedInGuidelines(t *testing.T) {
+	n := sharedNavigator(t)
+	// Re-explore with a memory budget; all guidelines must respect it.
+	nav2 := &Navigator{in: n.in, est: n.est, base: n.base}
+	nav2.in.Constraints = dse.Constraints{MaxMemoryGB: 1.0}
+	g, err := nav2.Explore()
+	if err != nil {
+		t.Fatalf("constrained Explore: %v", err)
+	}
+	for p, pt := range g.PerPriority {
+		if pt.Pred.MemoryGB > 1.0 {
+			t.Errorf("%s guideline predicts %.2f GB over the 1 GB budget", p, pt.Pred.MemoryGB)
+		}
+	}
+}
+
+func TestAugmentedCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("augmentation profiling is slow")
+	}
+	n, err := New(Input{
+		Dataset:       dataset.OgbnProducts,
+		Model:         model.SAGE,
+		Platform:      "rtx4090",
+		CalibDatasets: []string{dataset.OgbnArxiv},
+		CalibSamples:  12,
+		AugmentGraphs: 2,
+		Epochs:        2,
+		Space: dse.Space{
+			BatchSizes:  []int{1024},
+			FanoutSets:  [][]int{{10, 5}},
+			CacheRatios: []float64{0, 0.2},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("New with augmentation: %v", err)
+	}
+	if _, err := n.Explore(); err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestLoadAllNamed(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := Load(name)
+			if err != nil {
+				t.Fatalf("Load(%q): %v", name, err)
+			}
+			if err := d.Graph.Validate(); err != nil {
+				t.Fatalf("graph invalid: %v", err)
+			}
+			if d.Graph.NumClasses < 2 {
+				t.Errorf("NumClasses = %d, want >= 2", d.Graph.NumClasses)
+			}
+			if d.Scale < 1 {
+				t.Errorf("Scale = %v, want >= 1", d.Scale)
+			}
+			n := d.Graph.NumVertices()
+			if got := len(d.TrainIdx) + len(d.ValIdx) + len(d.TestIdx); got != n {
+				t.Errorf("split sizes sum to %d, want %d", got, n)
+			}
+		})
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("no-such-dataset"); err == nil {
+		t.Fatal("Load of unknown dataset succeeded")
+	}
+}
+
+func TestLoadMemoizes(t *testing.T) {
+	a := MustLoad(Reddit2)
+	b := MustLoad(Reddit2)
+	if a != b {
+		t.Error("Load returned distinct instances for the same name")
+	}
+}
+
+func TestSplitsDisjoint(t *testing.T) {
+	d := MustLoad(OgbnArxiv)
+	seen := make(map[int32]string)
+	check := func(idx []int32, part string) {
+		for _, v := range idx {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("vertex %d in both %s and %s", v, prev, part)
+			}
+			seen[v] = part
+		}
+	}
+	check(d.TrainIdx, "train")
+	check(d.ValIdx, "val")
+	check(d.TestIdx, "test")
+}
+
+func TestShapeStatisticsMirrorOriginals(t *testing.T) {
+	// Reddit must be denser than Reddit2, which is denser than Arxiv —
+	// the density ordering of the real datasets.
+	rd := MustLoad(Reddit).Graph.Stats()
+	rd2 := MustLoad(Reddit2).Graph.Stats()
+	ar := MustLoad(OgbnArxiv).Graph.Stats()
+	if !(rd.Mean > rd2.Mean && rd2.Mean > ar.Mean) {
+		t.Errorf("density ordering violated: RD=%.1f RD2=%.1f AR=%.1f",
+			rd.Mean, rd2.Mean, ar.Mean)
+	}
+	// All stand-ins must be degree-skewed (power law).
+	for _, name := range Names() {
+		s := MustLoad(name).Graph.Stats()
+		if s.GiniCoefficient < 0.1 {
+			t.Errorf("%s Gini = %.3f, want skewed", name, s.GiniCoefficient)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadSpec(t *testing.T) {
+	if _, err := Synthesize(Spec{Name: "tiny", NumVertices: 5}); err == nil {
+		t.Error("tiny spec accepted")
+	}
+	if _, err := Synthesize(Spec{
+		Name: "badsplit", NumVertices: 100, NumCommunities: 2, NumClasses: 2,
+		AvgDegree: 4, FeatDim: 8, TrainFraction: 0.8, ValFraction: 0.3,
+	}); err == nil {
+		t.Error("overlapping split fractions accepted")
+	}
+}
+
+func TestPowerLawAugment(t *testing.T) {
+	sets, err := PowerLawAugment(99, 3)
+	if err != nil {
+		t.Fatalf("PowerLawAugment: %v", err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("got %d sets, want 3", len(sets))
+	}
+	for _, d := range sets {
+		if err := d.Graph.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", d.Name, err)
+		}
+		if d.Scale <= 1 {
+			t.Errorf("%s Scale = %v, want > 1", d.Name, d.Scale)
+		}
+	}
+}
+
+func TestPowerLawAugmentDeterministic(t *testing.T) {
+	a, err := PowerLawAugment(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLawAugment(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Graph.NumEdges() != b[i].Graph.NumEdges() {
+			t.Errorf("set %d: %d vs %d edges for same seed", i,
+				a[i].Graph.NumEdges(), b[i].Graph.NumEdges())
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package dse implements GNNavigator's application-driven design space
+// exploration (§3.3, Fig. 4): the design space spanned by the backend's
+// reconfigurable settings, a DFS explorer with constraint pruning driven
+// by the gray-box estimator, Pareto-front extraction over ⟨T, Γ, Acc⟩,
+// and the priority-weighted decision maker that turns the front into
+// training guidelines (Bal, Ex-TM, Ex-MA, Ex-TA).
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/hw"
+)
+
+// Space enumerates the reconfigurable settings of Fig. 3 that the explorer
+// searches over. Empty slices pin the corresponding knob to the base
+// config's value.
+type Space struct {
+	Samplers    []backend.SamplerKind
+	BatchSizes  []int
+	FanoutSets  [][]int
+	WalkLengths []int
+	CacheRatios []float64
+	Policies    []cache.Policy
+	BiasRates   []float64
+	Hiddens     []int
+	// LayerCounts varies model depth (Fig. 3's "Model Layers" knob). For
+	// hop-list samplers only fanout sets whose length matches the depth
+	// are admitted.
+	LayerCounts []int
+}
+
+// DefaultSpace is the grid used throughout the evaluation. It subsumes
+// every template: PyG, PaGraph (full/low), 2PGraph, SAINT and FastGCN all
+// appear as points in it.
+func DefaultSpace() Space {
+	return Space{
+		Samplers:    []backend.SamplerKind{backend.SamplerSAGE, backend.SamplerSAINT},
+		BatchSizes:  []int{512, 1024, 2048},
+		FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}, {25, 10}},
+		WalkLengths: []int{8, 12},
+		CacheRatios: []float64{0, 0.08, 0.15, 0.3, 0.45},
+		Policies:    []cache.Policy{cache.Static, cache.FIFO, cache.LRU},
+		BiasRates:   []float64{0, 0.9},
+		Hiddens:     []int{32, 64},
+	}
+}
+
+// Size returns an upper bound on the number of leaf configurations.
+func (s Space) Size() int {
+	n := 1
+	mul := func(k int) {
+		if k > 0 {
+			n *= k
+		}
+	}
+	mul(len(s.Samplers))
+	mul(len(s.BatchSizes))
+	mul(len(s.FanoutSets) + len(s.WalkLengths))
+	mul(len(s.CacheRatios))
+	mul(len(s.Policies))
+	mul(len(s.BiasRates))
+	mul(len(s.Hiddens))
+	mul(len(s.LayerCounts))
+	return n
+}
+
+// Constraints are the runtime constraints of Fig. 4. Zero values mean
+// unconstrained.
+type Constraints struct {
+	MaxTimeSec  float64
+	MaxMemoryGB float64
+	MinAccuracy float64
+}
+
+// Satisfied reports whether a prediction meets the constraints (including
+// device feasibility).
+func (c Constraints) Satisfied(p estimator.Prediction) bool {
+	if !p.Feasible {
+		return false
+	}
+	if c.MaxTimeSec > 0 && p.TimeSec > c.MaxTimeSec {
+		return false
+	}
+	if c.MaxMemoryGB > 0 && p.MemoryGB > c.MaxMemoryGB {
+		return false
+	}
+	if c.MinAccuracy > 0 && p.Accuracy < c.MinAccuracy {
+		return false
+	}
+	return true
+}
+
+// Priority names the guideline emphases of Table 1.
+type Priority string
+
+// Guideline priorities.
+const (
+	Balance        Priority = "balance" // Bal: equal emphasis on T, Γ, Acc
+	TimeMemory     Priority = "ex-tm"   // Ex-TM: emphasize time and memory
+	MemoryAccuracy Priority = "ex-ma"   // Ex-MA: emphasize memory and accuracy
+	TimeAccuracy   Priority = "ex-ta"   // Ex-TA: emphasize time and accuracy
+)
+
+// Priorities lists all guideline emphases in Table 1 order.
+func Priorities() []Priority {
+	return []Priority{Balance, TimeMemory, MemoryAccuracy, TimeAccuracy}
+}
+
+// Weights returns the (time, memory, accuracy) emphasis of the priority.
+func (p Priority) Weights() (wT, wG, wA float64) {
+	switch p {
+	case TimeMemory:
+		return 1, 1, 0.25
+	case MemoryAccuracy:
+		return 0.25, 1, 1
+	case TimeAccuracy:
+		return 1, 0.25, 1
+	default: // Balance
+		return 1, 1, 1
+	}
+}
+
+// accGuardBand is the maximum accuracy sacrifice any guideline may make
+// relative to the best candidate. The paper's "extreme" guidelines trade
+// accuracy only marginally ("a negligible drop in Acc by 2.8%"); without
+// this guard a time-emphasizing priority could pick a degenerate config
+// that barely learns.
+const accGuardBand = 0.1
+
+// Point pairs a candidate configuration with its predicted performance.
+type Point struct {
+	Cfg  backend.Config
+	Pred estimator.Prediction
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	// Candidates are all constraint-satisfying evaluated points.
+	Candidates []Point
+	// Pareto is the non-dominated subset over (T, Γ, -Acc).
+	Pareto []Point
+	// Evaluated counts estimator queries; Pruned counts leaf configs
+	// skipped by constraint pruning without evaluation.
+	Evaluated, Pruned int
+}
+
+// Explorer runs the DFS of Fig. 4.
+type Explorer struct {
+	Est         *estimator.Estimator
+	Space       Space
+	Constraints Constraints
+	// DisablePruning turns constraint pruning off (ablation).
+	DisablePruning bool
+}
+
+// Explore traverses the design space depth-first from the base config
+// (which supplies dataset, platform, model kind, layers, epochs, LR).
+// Dimension order puts CacheRatio early so the memory lower bound can cut
+// whole subtrees, mirroring the paper's pruning discussion.
+func (e *Explorer) Explore(base backend.Config) (*Result, error) {
+	if e.Est == nil {
+		return nil, fmt.Errorf("dse: explorer needs a trained estimator")
+	}
+	ds, err := dataset.Load(base.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	plat, ok := hw.Profiles()[base.Platform]
+	if !ok {
+		return nil, fmt.Errorf("dse: unknown platform %q", base.Platform)
+	}
+	s := e.normalizedSpace(base)
+	res := &Result{}
+
+	// leafCount(dims...) for prune accounting below a cut.
+	leafsBelow := func(level int) int {
+		n := 1
+		if level <= 0 {
+			n *= len(s.Samplers)
+		}
+		if level <= 1 {
+			n *= len(s.BatchSizes)
+		}
+		// Level 2 (shape) depends on sampler; bound with the max.
+		if level <= 2 {
+			m := len(s.FanoutSets)
+			if len(s.WalkLengths) > m {
+				m = len(s.WalkLengths)
+			}
+			n *= m
+		}
+		if level <= 3 {
+			n *= len(s.Policies)
+		}
+		if level <= 4 {
+			n *= len(s.BiasRates)
+		}
+		if level <= 5 {
+			n *= len(s.Hiddens)
+		}
+		if level <= 6 {
+			n *= len(s.LayerCounts)
+		}
+		return n
+	}
+
+	for _, ratio := range s.CacheRatios {
+		// Constraint pruning: Γ_cache alone is a lower bound on Γ for the
+		// whole subtree under this cache ratio (Eq. 9 is a sum of
+		// non-negative parts). If it already violates the memory budget or
+		// the device capacity, the subtree cannot contain a satisfying
+		// candidate.
+		if !e.DisablePruning {
+			cacheBytes := ratio * float64(ds.FullVertices) * float64(ds.FullFeatDim) * 4
+			overBudget := e.Constraints.MaxMemoryGB > 0 && cacheBytes/1e9 > e.Constraints.MaxMemoryGB
+			overDevice := cacheBytes > plat.Device.MemCapacityBytes
+			if overBudget || overDevice {
+				res.Pruned += leafsBelow(0)
+				continue
+			}
+		}
+		for _, smp := range s.Samplers {
+			for _, b0 := range s.BatchSizes {
+				shapes := len(s.FanoutSets)
+				if smp == backend.SamplerSAINT {
+					shapes = len(s.WalkLengths)
+				}
+				for sh := 0; sh < shapes; sh++ {
+					for _, layers := range s.LayerCounts {
+						for _, pol := range s.Policies {
+							for _, bias := range s.BiasRates {
+								for _, hidden := range s.Hiddens {
+									cfg := base
+									cfg.Sampler = smp
+									cfg.BatchSize = b0
+									cfg.CacheRatio = ratio
+									cfg.Hidden = hidden
+									cfg.Layers = layers
+									if smp == backend.SamplerSAINT {
+										cfg.Fanouts = nil
+										cfg.WalkLength = s.WalkLengths[sh]
+									} else {
+										cfg.Fanouts = s.FanoutSets[sh]
+										cfg.WalkLength = 0
+										if len(cfg.Fanouts) != cfg.Layers {
+											continue
+										}
+									}
+									if ratio == 0 {
+										cfg.CachePolicy = cache.None
+										cfg.BiasRate = 0
+										if pol != s.Policies[0] || bias != s.BiasRates[0] {
+											continue // collapse duplicate no-cache combos
+										}
+									} else {
+										cfg.CachePolicy = pol
+										cfg.BiasRate = bias
+										if bias > 0 && smp != backend.SamplerSAGE {
+											continue // cache-aware bias is node-wise only
+										}
+									}
+									if cfg.Validate() != nil {
+										continue
+									}
+									pred, err := e.Est.Predict(cfg)
+									if err != nil {
+										return nil, err
+									}
+									res.Evaluated++
+									if e.Constraints.Satisfied(pred) {
+										res.Candidates = append(res.Candidates, Point{Cfg: cfg, Pred: pred})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	res.Pareto = ParetoFront(res.Candidates)
+	return res, nil
+}
+
+// normalizedSpace fills empty dimensions from the base config.
+func (e *Explorer) normalizedSpace(base backend.Config) Space {
+	s := e.Space
+	if len(s.Samplers) == 0 {
+		s.Samplers = []backend.SamplerKind{base.Sampler}
+	}
+	if len(s.BatchSizes) == 0 {
+		s.BatchSizes = []int{base.BatchSize}
+	}
+	if len(s.FanoutSets) == 0 {
+		s.FanoutSets = [][]int{base.Fanouts}
+	}
+	if len(s.WalkLengths) == 0 {
+		wl := base.WalkLength
+		if wl == 0 {
+			wl = 8
+		}
+		s.WalkLengths = []int{wl}
+	}
+	if len(s.CacheRatios) == 0 {
+		s.CacheRatios = []float64{base.CacheRatio}
+	}
+	if len(s.Policies) == 0 {
+		// The policy paired with nonzero cache ratios. The base's policy
+		// is usually "none" (no cache), which would invalidate every
+		// cached candidate, so default to the static PaGraph-style cache.
+		pol := base.CachePolicy
+		if pol == "" || pol == cache.None {
+			pol = cache.Static
+		}
+		s.Policies = []cache.Policy{pol}
+	}
+	if len(s.BiasRates) == 0 {
+		s.BiasRates = []float64{base.BiasRate}
+	}
+	if len(s.Hiddens) == 0 {
+		s.Hiddens = []int{base.Hidden}
+	}
+	if len(s.LayerCounts) == 0 {
+		s.LayerCounts = []int{base.Layers}
+	}
+	return s
+}
+
+// dominates reports whether a dominates b: no worse on all of (T, Γ, Acc)
+// and strictly better on at least one.
+func dominates(a, b Point) bool {
+	if a.Pred.TimeSec > b.Pred.TimeSec || a.Pred.MemoryGB > b.Pred.MemoryGB ||
+		a.Pred.Accuracy < b.Pred.Accuracy {
+		return false
+	}
+	return a.Pred.TimeSec < b.Pred.TimeSec || a.Pred.MemoryGB < b.Pred.MemoryGB ||
+		a.Pred.Accuracy > b.Pred.Accuracy
+}
+
+// ParetoFront returns the non-dominated subset of points over
+// (minimize T, minimize Γ, maximize Acc).
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// Decide applies the decision maker: metrics are min-max normalized over
+// the candidate set and combined with the priority's weights; the lowest
+// score wins. Ties break toward lower time. Candidates whose predicted
+// accuracy trails the best by more than accGuardBand are excluded — every
+// guideline must keep "comparable accuracy" (§4.2).
+func Decide(candidates []Point, priority Priority) (Point, error) {
+	if len(candidates) == 0 {
+		return Point{}, fmt.Errorf("dse: no candidates satisfy the constraints")
+	}
+	bestAcc := math.Inf(-1)
+	for _, p := range candidates {
+		if p.Pred.Accuracy > bestAcc {
+			bestAcc = p.Pred.Accuracy
+		}
+	}
+	guarded := make([]Point, 0, len(candidates))
+	for _, p := range candidates {
+		if p.Pred.Accuracy >= bestAcc-accGuardBand {
+			guarded = append(guarded, p)
+		}
+	}
+	if len(guarded) > 0 {
+		candidates = guarded
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minG, maxG := math.Inf(1), math.Inf(-1)
+	minA, maxA := math.Inf(1), math.Inf(-1)
+	for _, p := range candidates {
+		minT = math.Min(minT, p.Pred.TimeSec)
+		maxT = math.Max(maxT, p.Pred.TimeSec)
+		minG = math.Min(minG, p.Pred.MemoryGB)
+		maxG = math.Max(maxG, p.Pred.MemoryGB)
+		minA = math.Min(minA, p.Pred.Accuracy)
+		maxA = math.Max(maxA, p.Pred.Accuracy)
+	}
+	norm := func(v, lo, hi float64) float64 {
+		if hi-lo < 1e-12 {
+			return 0
+		}
+		return (v - lo) / (hi - lo)
+	}
+	wT, wG, wA := priority.Weights()
+	best := -1
+	bestScore := math.Inf(1)
+	for i, p := range candidates {
+		score := wT*norm(p.Pred.TimeSec, minT, maxT) +
+			wG*norm(p.Pred.MemoryGB, minG, maxG) +
+			wA*(1-norm(p.Pred.Accuracy, minA, maxA))
+		if score < bestScore || (score == bestScore && best >= 0 && p.Pred.TimeSec < candidates[best].Pred.TimeSec) {
+			bestScore = score
+			best = i
+		}
+	}
+	return candidates[best], nil
+}

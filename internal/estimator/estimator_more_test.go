@@ -1,0 +1,91 @@
+package estimator
+
+import (
+	"testing"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/model"
+)
+
+func TestBaselineAccuracyMemoized(t *testing.T) {
+	a, err := BaselineAccuracy(dataset.OgbnArxiv, 2)
+	if err != nil {
+		t.Fatalf("BaselineAccuracy: %v", err)
+	}
+	if a <= 0.1 || a >= 1 {
+		t.Errorf("baseline accuracy %v out of sane range", a)
+	}
+	b, err := BaselineAccuracy(dataset.OgbnArxiv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoized baseline differs across calls")
+	}
+	if _, err := BaselineAccuracy("no-such-dataset", 2); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestProfileDatasetMemoized(t *testing.T) {
+	d := dataset.MustLoad(dataset.OgbnProducts)
+	a := ProfileDataset(d)
+	b := ProfileDataset(d)
+	if a != b {
+		t.Error("ProfileDataset not deterministic/memoized")
+	}
+	if a.ProbeAcc <= 0 || a.ProbeAcc > 1 {
+		t.Errorf("ProbeAcc = %v out of range", a.ProbeAcc)
+	}
+}
+
+// TestProbeAccTracksTaskDifficulty: products (low noise, high homophily)
+// must have a higher linear-probe accuracy than reddit2 (high noise).
+func TestProbeAccTracksTaskDifficulty(t *testing.T) {
+	pr := ProfileDataset(dataset.MustLoad(dataset.OgbnProducts))
+	rd2 := ProfileDataset(dataset.MustLoad(dataset.Reddit2))
+	if pr.ProbeAcc <= rd2.ProbeAcc {
+		t.Errorf("probe accuracy ordering wrong: PR %.3f <= RD2 %.3f", pr.ProbeAcc, rd2.ProbeAcc)
+	}
+}
+
+// TestPredictionTimeRespondsToPlatform: the same config must be predicted
+// slower on the weak device — without retraining, because the platform
+// enters only through the white-box half.
+func TestPredictionTimeRespondsToPlatform(t *testing.T) {
+	recs, err := CollectCached(dataset.OgbnArxiv, model.SAGE, "rtx4090", 24, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Train(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := recs[0].Cfg
+	fast, err := e.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Platform = "m90"
+	slow, err := e.Predict(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TimeSec <= fast.TimeSec {
+		t.Errorf("M90 predicted %.4fs, not slower than RTX4090 %.4fs", slow.TimeSec, fast.TimeSec)
+	}
+}
+
+func TestCollisionDistinct(t *testing.T) {
+	// Far below pool size: nearly no collisions.
+	if got := collisionDistinct(10, 1e9); got < 9.9 || got > 10 {
+		t.Errorf("collisionDistinct(10, 1e9) = %v", got)
+	}
+	// Far above pool size: saturates at the pool.
+	if got := collisionDistinct(1e9, 100); got < 99.9 || got > 100 {
+		t.Errorf("collisionDistinct(1e9, 100) = %v", got)
+	}
+	if got := collisionDistinct(5, 0); got != 0 {
+		t.Errorf("collisionDistinct with empty pool = %v", got)
+	}
+}

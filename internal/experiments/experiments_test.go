@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gnnavigator/internal/backend"
+)
+
+// The experiment harness is exercised end-to-end at Quick fidelity. These
+// tests assert the *shape* results the paper reports; absolute numbers are
+// simulator-scale.
+
+func TestFig1aTradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	pts, err := RunFig1a(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunFig1a: %v", err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("too few sweep points: %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.EpochSec >= first.EpochSec {
+		t.Errorf("bigger cache did not speed up the epoch: %.3f -> %.3f", first.EpochSec, last.EpochSec)
+	}
+	if last.MemoryMB <= first.MemoryMB {
+		t.Errorf("bigger cache did not cost memory: %.1f -> %.1f MB", first.MemoryMB, last.MemoryMB)
+	}
+	// Hit rate must be monotone nondecreasing in the ratio.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HitRate+1e-9 < pts[i-1].HitRate {
+			t.Errorf("hit rate fell with bigger cache: %.3f -> %.3f", pts[i-1].HitRate, pts[i].HitRate)
+		}
+	}
+	if !strings.Contains(buf.String(), "Fig 1a") {
+		t.Error("missing header in output")
+	}
+}
+
+func TestFig1b2PGraphFasterButLessAccurate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	pts, err := RunFig1b(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunFig1b: %v", err)
+	}
+	last := pts[len(pts)-1]
+	if last.TwoPTime >= last.PaGraphTime {
+		t.Errorf("2PGraph epoch (%.3fs) not faster than PaGraph (%.3fs)", last.TwoPTime, last.PaGraphTime)
+	}
+	if last.TwoPAcc >= last.PaGraphAcc {
+		t.Errorf("2PGraph accuracy %.3f did not trail PaGraph %.3f (the paper's 3%% drop)",
+			last.TwoPAcc, last.PaGraphAcc)
+	}
+}
+
+func TestFig5GrayBoxWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	res, err := RunFig5(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	if res.GrayMSE >= res.BlackMSE {
+		t.Errorf("gray-box MSE %.0f not better than black-box %.0f", res.GrayMSE, res.BlackMSE)
+	}
+	if res.GrayR2 <= res.BlackR2 {
+		t.Errorf("gray-box R2 %.3f not better than black-box %.3f", res.GrayR2, res.BlackR2)
+	}
+	if len(res.Points) == 0 {
+		t.Error("no scatter points")
+	}
+}
+
+func TestAblationPruningSafeAndEffective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	res, err := RunAblationPruning(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunAblationPruning: %v", err)
+	}
+	if res.EvaluatedWith >= res.EvaluatedWithout {
+		t.Errorf("pruning saved nothing: %d vs %d", res.EvaluatedWith, res.EvaluatedWithout)
+	}
+	if !res.CandidatesEqual {
+		t.Error("pruning changed the candidate set (unsound bound)")
+	}
+}
+
+func TestAblationCachePolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	rows, err := RunAblationCachePolicy(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunAblationCachePolicy: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	}
+	byPolicy := map[string]AblationCacheRow{}
+	for _, r := range rows {
+		byPolicy[string(r.Policy)] = r
+	}
+	if byPolicy["none"].HitRate != 0 {
+		t.Error("policy none produced hits")
+	}
+	// On a power-law graph with degree-weighted access, the static
+	// degree-ordered cache must beat FIFO churn.
+	if byPolicy["static"].HitRate <= byPolicy["none"].HitRate {
+		t.Error("static cache no better than no cache")
+	}
+}
+
+func TestAblationPipelineGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	res, err := RunAblationPipeline(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunAblationPipeline: %v", err)
+	}
+	if res.PipelinedSec >= res.SerialSec {
+		t.Errorf("pipelining gained nothing: %.3f vs %.3f", res.PipelinedSec, res.SerialSec)
+	}
+}
+
+// TestTable1ShapeQuick runs the headline experiment on one task and
+// asserts the relationships the paper's Table 1 demonstrates.
+func TestTable1ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	// Restrict to the RD2+SAGE task by running templates directly (full
+	// RunTable1 covers all three tasks in the bench).
+	task := Table1Tasks()[1]
+	rows := map[backend.Template]Row{}
+	for _, tpl := range []backend.Template{
+		backend.TemplatePyG, backend.TemplatePaFull,
+		backend.TemplatePaLow, backend.Template2PGraph,
+	} {
+		row, err := runTemplate(tpl, task, 2)
+		if err != nil {
+			t.Fatalf("template %s: %v", tpl, err)
+		}
+		rows[tpl] = row
+	}
+	pyg := rows[backend.TemplatePyG]
+	paFull := rows[backend.TemplatePaFull]
+	paLow := rows[backend.TemplatePaLow]
+	twoP := rows[backend.Template2PGraph]
+	// PaGraph trades memory for speed.
+	if !(paFull.TimeSec < pyg.TimeSec && paFull.MemoryGB > pyg.MemoryGB) {
+		t.Errorf("Pa-Full shape wrong: T %.3f vs %.3f, Γ %.3f vs %.3f",
+			paFull.TimeSec, pyg.TimeSec, paFull.MemoryGB, pyg.MemoryGB)
+	}
+	// Pa-Low is between PyG and Pa-Full on both axes.
+	if !(paLow.TimeSec <= pyg.TimeSec && paLow.TimeSec >= paFull.TimeSec) {
+		t.Errorf("Pa-Low time %.3f not between Pa-Full %.3f and PyG %.3f",
+			paLow.TimeSec, paFull.TimeSec, pyg.TimeSec)
+	}
+	// 2PGraph is fastest, uses less memory than PyG, loses accuracy.
+	if !(twoP.TimeSec < pyg.TimeSec) {
+		t.Errorf("2P not faster than PyG: %.3f vs %.3f", twoP.TimeSec, pyg.TimeSec)
+	}
+	if !(twoP.MemoryGB < pyg.MemoryGB) {
+		t.Errorf("2P memory %.3f not below PyG %.3f", twoP.MemoryGB, pyg.MemoryGB)
+	}
+	if !(twoP.Accuracy < pyg.Accuracy-0.01) {
+		t.Errorf("2P accuracy %.3f did not trail PyG %.3f", twoP.Accuracy, pyg.Accuracy)
+	}
+}
+
+// TestFig6GuidelinesOnFront checks that the Navigator's picks land on the
+// measured Pareto front of the exhausted (coarse) design space.
+func TestFig6GuidelinesOnFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	res, err := RunFig6(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunFig6: %v", err)
+	}
+	if len(res.Points) < 10 {
+		t.Fatalf("sweep too small: %d points", len(res.Points))
+	}
+	if len(res.FrontTM) == 0 || len(res.FrontMA) == 0 {
+		t.Fatal("empty Pareto fronts")
+	}
+	if res.GuidelineHits < 2 {
+		t.Errorf("only %d/3 Navigator guidelines on the measured front", res.GuidelineHits)
+	}
+}
+
+// TestTable2ShapeQuick runs the estimator validation at quick fidelity and
+// asserts the Table 2 quality bands loosely (cross-dataset generalization
+// on synthetic stand-ins is the hard case).
+func TestTable2ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable2(&buf, Quick)
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 datasets", len(rows))
+	}
+	for _, r := range rows {
+		if r.R2Memory < 0.5 {
+			t.Errorf("%s: R2(Γ) = %.3f, want >= 0.5", r.Dataset, r.R2Memory)
+		}
+		if r.MSEAcc > 0.08 {
+			t.Errorf("%s: MSE(Acc) = %.4f, want <= 0.08", r.Dataset, r.MSEAcc)
+		}
+	}
+}

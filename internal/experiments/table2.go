@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/model"
+)
+
+// Table2Row is one dataset column of Table 2: estimator precision under
+// leave-one-dataset-out training.
+type Table2Row struct {
+	Dataset  string
+	R2Time   float64
+	R2Memory float64
+	MSEAcc   float64
+	R2Batch  float64
+}
+
+// RunTable2 validates the gray-box estimator on Reddit, Reddit2 and
+// Ogbn-products. For each target, the estimator trains on probe records
+// from all *other* datasets plus power-law augmentation (the paper's §4.1
+// protocol) and is scored on the target's ground truth.
+func RunTable2(w io.Writer, f Fidelity) ([]Table2Row, error) {
+	targets := []string{dataset.Reddit, dataset.Reddit2, dataset.OgbnProducts}
+	all := dataset.Names()
+	n := calibSamples(f)
+
+	fmt.Fprintln(w, "# Table 2: estimator prediction validation (leave-one-dataset-out)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n", "dataset", "R2(T)", "R2(Γ)", "MSE(Acc)", "R2(|Vi|)")
+	var out []Table2Row
+	for ti, target := range targets {
+		var trainRecs []estimator.Record
+		for di, name := range all {
+			if name == target {
+				continue
+			}
+			recs, err := estimator.CollectCached(name, model.SAGE, platform, n, 7+int64(di), true)
+			if err != nil {
+				return nil, err
+			}
+			trainRecs = append(trainRecs, recs...)
+		}
+		// Power-law augmentation (volumes only — accuracy labels come from
+		// the real datasets).
+		aug, err := augmentRecords(2, 400+int64(ti))
+		if err != nil {
+			return nil, err
+		}
+		trainRecs = append(trainRecs, aug...)
+
+		est, err := estimator.Train(trainRecs)
+		if err != nil {
+			return nil, err
+		}
+		testRecs, err := estimator.CollectCached(target, model.SAGE, platform, n, 97+int64(ti), true)
+		if err != nil {
+			return nil, err
+		}
+		v, err := estimator.Validate(est, testRecs)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Dataset: target, R2Time: v.R2Time, R2Memory: v.R2Memory,
+			MSEAcc: v.MSEAcc, R2Batch: v.R2Batch,
+		}
+		out = append(out, row)
+		fmt.Fprintf(w, "%-14s %10.4f %10.4f %10.4f %10.4f\n",
+			row.Dataset, row.R2Time, row.R2Memory, row.MSEAcc, row.R2Batch)
+	}
+	return out, nil
+}
+
+// augmentRecords profiles `count` random power-law graphs (volumes only).
+func augmentRecords(count int, seed int64) ([]estimator.Record, error) {
+	sets, err := dataset.PowerLawAugment(seed, count)
+	if err != nil {
+		return nil, err
+	}
+	var records []estimator.Record
+	for i, d := range sets {
+		if err := dataset.Register(d); err != nil {
+			// Registered by a previous call in this process; reuse it.
+			d2, lerr := dataset.Load(d.Name)
+			if lerr != nil {
+				return nil, err
+			}
+			d = d2
+		}
+		cfgs := estimator.ProbeConfigs(d.Name, model.SAGE, platform, 6, seed+int64(i)*13)
+		recs, err := estimator.Collect(cfgs, false)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, recs...)
+	}
+	return records, nil
+}

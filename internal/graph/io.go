@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization for graphs: a small versioned little-endian format
+// so synthesized datasets can be checkpointed and shared between tools
+// without regeneration.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [4]byte  "GNAV"
+//	version uint16   (currently 1)
+//	flags   uint16   bit0 = has features, bit1 = has labels
+//	nameLen uint32, name bytes
+//	n       uint64   vertices
+//	m       uint64   arcs
+//	offsets [n+1]int64
+//	adj     [m]int32
+//	if features: featDim uint32, data [n*featDim]float32
+//	if labels:   numClasses uint32, labels [n]int32
+
+var magic = [4]byte{'G', 'N', 'A', 'V'}
+
+const formatVersion = 1
+
+const (
+	flagFeatures = 1 << iota
+	flagLabels
+)
+
+// Write serializes the graph. It returns the first write error.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var flags uint16
+	if g.Features != nil {
+		flags |= flagFeatures
+	}
+	if g.Labels != nil {
+		flags |= flagLabels
+	}
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint16(formatVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint32(len(g.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, g.adj); err != nil {
+		return err
+	}
+	if g.Features != nil {
+		if err := binary.Write(bw, le, uint32(g.FeatDim)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, g.Features); err != nil {
+			return err
+		}
+	}
+	if g.Labels != nil {
+		if err := binary.Write(bw, le, uint32(g.NumClasses)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, le, g.Labels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by Write, validating structure.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m)
+	}
+	le := binary.LittleEndian
+	var version, flags uint16
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("graph: unsupported format version %d", version)
+	}
+	if err := binary.Read(br, le, &flags); err != nil {
+		return nil, err
+	}
+	var nameLen uint32
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, edges uint64
+	if err := binary.Read(br, le, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &edges); err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 33
+	if n > maxReasonable || edges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, edges)
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(br, le, offsets); err != nil {
+		return nil, err
+	}
+	adj := make([]int32, edges)
+	if err := binary.Read(br, le, adj); err != nil {
+		return nil, err
+	}
+	g, err := NewCSR(offsets, adj)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = string(name)
+	if flags&flagFeatures != 0 {
+		var dim uint32
+		if err := binary.Read(br, le, &dim); err != nil {
+			return nil, err
+		}
+		if uint64(dim)*n > maxReasonable {
+			return nil, fmt.Errorf("graph: implausible feature dim %d", dim)
+		}
+		g.FeatDim = int(dim)
+		g.Features = make([]float32, n*uint64(dim))
+		if err := binary.Read(br, le, g.Features); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagLabels != 0 {
+		var classes uint32
+		if err := binary.Read(br, le, &classes); err != nil {
+			return nil, err
+		}
+		g.NumClasses = int(classes)
+		g.Labels = make([]int32, n)
+		if err := binary.Read(br, le, g.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := triangle(t)
+	g.Name = "tri"
+	g.FeatDim = 2
+	g.Features = []float32{1, 2, 3, 4, 5, 6}
+	g.Labels = []int32{0, 1, 0}
+	g.NumClasses = 2
+
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if back.Name != "tri" || back.NumVertices() != 3 || back.NumEdges() != 6 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for v := int32(0); v < 3; v++ {
+		a, b := g.Neighbors(v), back.Neighbors(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+	for i := range g.Features {
+		if g.Features[i] != back.Features[i] {
+			t.Fatal("features mismatch")
+		}
+	}
+	for i := range g.Labels {
+		if g.Labels[i] != back.Labels[i] {
+			t.Fatal("labels mismatch")
+		}
+	}
+	if back.NumClasses != 2 {
+		t.Errorf("NumClasses = %d", back.NumClasses)
+	}
+}
+
+func TestRoundTripTopologyOnly(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Features != nil || back.Labels != nil {
+		t.Error("topology-only graph grew features/labels")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("NOPE...."),
+		"truncated":     append([]byte("GNAV"), 1, 0),
+		"short version": []byte("GNAV"),
+	}
+	for name, data := range cases {
+		if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadFromRejectsWrongVersion(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump version field
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestReadFromRejectsTruncatedBody(t *testing.T) {
+	g := triangle(t)
+	g.FeatDim = 4
+	g.Features = make([]float32, 12)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 2, len(data) - 3} {
+		if _, err := ReadFrom(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: any random graph with features/labels round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		adj := make([][]int32, n)
+		for v := 0; v < n; v++ {
+			d := rng.Intn(5)
+			for i := 0; i < d; i++ {
+				adj[v] = append(adj[v], int32(rng.Intn(n)))
+			}
+		}
+		g, err := FromAdjList(adj)
+		if err != nil {
+			return false
+		}
+		g.Name = "prop"
+		if seed%2 == 0 {
+			g.FeatDim = 1 + rng.Intn(8)
+			g.Features = make([]float32, n*g.FeatDim)
+			for i := range g.Features {
+				g.Features[i] = rng.Float32()
+			}
+		}
+		if seed%3 == 0 {
+			g.NumClasses = 2 + rng.Intn(5)
+			g.Labels = make([]int32, n)
+			for i := range g.Labels {
+				g.Labels[i] = int32(rng.Intn(g.NumClasses))
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			return false
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Neighbors(int32(v)), back.Neighbors(int32(v))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return back.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package hw
+
+import "testing"
+
+func TestProfilesAllValid(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) < 3 {
+		t.Fatalf("only %d profiles", len(profiles))
+	}
+	for name, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	// The datacenter part must out-spec the constrained part on every axis
+	// the simulator consumes.
+	a100, m90 := A100(), M90()
+	if a100.Device.EffGFLOPS <= m90.Device.EffGFLOPS {
+		t.Error("A100 compute not above M90")
+	}
+	if a100.Device.MemBytesPerSec <= m90.Device.MemBytesPerSec {
+		t.Error("A100 memory bandwidth not above M90")
+	}
+	if a100.Device.MemCapacityBytes <= m90.Device.MemCapacityBytes {
+		t.Error("A100 capacity not above M90")
+	}
+	if a100.Link.BytesPerSec <= m90.Link.BytesPerSec {
+		t.Error("A100 link not above M90")
+	}
+}
+
+func TestValidateRejectsBadPlatforms(t *testing.T) {
+	good := RTX4090()
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+	}{
+		{"zero cores", func(p *Platform) { p.Host.Cores = 0 }},
+		{"zero sample rate", func(p *Platform) { p.Host.SampleEdgesPerSec = 0 }},
+		{"zero gflops", func(p *Platform) { p.Device.EffGFLOPS = 0 }},
+		{"zero device bw", func(p *Platform) { p.Device.MemBytesPerSec = 0 }},
+		{"zero capacity", func(p *Platform) { p.Device.MemCapacityBytes = 0 }},
+		{"zero link", func(p *Platform) { p.Link.BytesPerSec = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestWithMemoryDoesNotMutateOriginal(t *testing.T) {
+	orig := RTX4090()
+	capped := orig.WithMemory(1 * GiB)
+	if capped.Device.MemCapacityBytes != 1*GiB {
+		t.Errorf("capped capacity = %v", capped.Device.MemCapacityBytes)
+	}
+	if orig.Device.MemCapacityBytes != 24*GiB {
+		t.Error("WithMemory mutated the original")
+	}
+}
+
+func TestFreeForCacheBytes(t *testing.T) {
+	p := M90() // 8 GiB
+	if got := p.FreeForCacheBytes(2 * GiB); got != 6*GiB {
+		t.Errorf("FreeForCacheBytes = %v, want 6 GiB", got)
+	}
+	if got := p.FreeForCacheBytes(10 * GiB); got != 0 {
+		t.Errorf("over-reserved FreeForCacheBytes = %v, want 0", got)
+	}
+}
+
+func TestCPUOnlyShape(t *testing.T) {
+	cpu := CPUOnly()
+	if err := cpu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gpu := RTX4090()
+	if cpu.Device.EffGFLOPS >= gpu.Device.EffGFLOPS {
+		t.Error("CPU compute not below GPU")
+	}
+	// The defining property: transfers are nearly free relative to PCIe.
+	if cpu.Link.BytesPerSec <= gpu.Link.BytesPerSec {
+		t.Error("CPU-only memcpy link not faster than PCIe")
+	}
+	if cpu.Link.LatencySec >= gpu.Link.LatencySec {
+		t.Error("CPU-only link latency not below PCIe")
+	}
+}
+
+func TestCappedVariantsPresent(t *testing.T) {
+	profiles := Profiles()
+	full, ok1 := profiles["rtx4090"]
+	capped, ok2 := profiles["rtx4090-8g"]
+	if !ok1 || !ok2 {
+		t.Fatal("expected rtx4090 and rtx4090-8g profiles")
+	}
+	if capped.Device.MemCapacityBytes >= full.Device.MemCapacityBytes {
+		t.Error("capped variant not smaller than full")
+	}
+	// Only memory differs.
+	if capped.Device.EffGFLOPS != full.Device.EffGFLOPS {
+		t.Error("capped variant changed compute")
+	}
+}

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// gatLayer implements multi-head additive attention (Veličković et al.):
+//
+//	z_j     = h_j · W            (per head)
+//	e_ij    = LeakyReLU(aSrc·z_j + aDst·z_i)   over j ∈ N(i) ∪ {i}
+//	α_i·    = softmax(e_i·)
+//	y_i     = Σ_j α_ij z_j
+//
+// Heads are concatenated; the per-head output dim is out/heads.
+type gatLayer struct {
+	heads   int
+	in, out int // out is the concatenated output dim
+	perHead int
+	slope   float64
+
+	w    []*nn.Param // [heads] in×perHead
+	aSrc []*nn.Param // [heads] 1×perHead
+	aDst []*nn.Param // [heads] 1×perHead
+	bias *nn.Param   // 1×out
+
+	// forward caches
+	blk   *sample.Block
+	h     *tensor.Dense
+	z     []*tensor.Dense // per head, src×perHead
+	alpha [][]float64     // per head, per edge (flattened like edge list incl. self)
+	pre   [][]float64     // pre-LeakyReLU scores per head/edge
+	// edge list with self loops: for dst i, edges cover [selfOff[i], selfOff[i+1])
+	edgeSrc []int32 // src position per edge
+	edgeDst []int32 // dst index per edge
+	dstOff  []int32 // per-dst edge range start; len = DstCount+1
+}
+
+func newGATLayer(rng *rand.Rand, name string, in, out, heads int) (*gatLayer, error) {
+	if heads < 1 || out%heads != 0 {
+		return nil, fmt.Errorf("model: GAT out dim %d not divisible by heads %d", out, heads)
+	}
+	l := &gatLayer{heads: heads, in: in, out: out, perHead: out / heads, slope: 0.2}
+	for h := 0; h < heads; h++ {
+		w := nn.NewParam(fmt.Sprintf("%s.W%d", name, h), in, l.perHead)
+		w.Value.GlorotInit(rng, in, l.perHead)
+		as := nn.NewParam(fmt.Sprintf("%s.aSrc%d", name, h), 1, l.perHead)
+		as.Value.GlorotInit(rng, l.perHead, 1)
+		ad := nn.NewParam(fmt.Sprintf("%s.aDst%d", name, h), 1, l.perHead)
+		ad.Value.GlorotInit(rng, l.perHead, 1)
+		l.w = append(l.w, w)
+		l.aSrc = append(l.aSrc, as)
+		l.aDst = append(l.aDst, ad)
+	}
+	l.bias = nn.NewParam(name+".b", 1, out)
+	return l, nil
+}
+
+// buildEdges materializes the attention edge list: sampled neighbors plus a
+// self edge per destination.
+func (l *gatLayer) buildEdges(blk *sample.Block) {
+	l.edgeSrc = l.edgeSrc[:0]
+	l.edgeDst = l.edgeDst[:0]
+	l.dstOff = make([]int32, blk.DstCount+1)
+	for i := 0; i < blk.DstCount; i++ {
+		l.dstOff[i] = int32(len(l.edgeSrc))
+		l.edgeSrc = append(l.edgeSrc, int32(i)) // self
+		l.edgeDst = append(l.edgeDst, int32(i))
+		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
+			l.edgeSrc = append(l.edgeSrc, ix)
+			l.edgeDst = append(l.edgeDst, int32(i))
+		}
+	}
+	l.dstOff[blk.DstCount] = int32(len(l.edgeSrc))
+}
+
+func (l *gatLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
+	l.blk = blk
+	l.h = h
+	l.buildEdges(blk)
+	nEdges := len(l.edgeSrc)
+	out := tensor.New(blk.DstCount, l.out)
+	l.z = make([]*tensor.Dense, l.heads)
+	l.alpha = make([][]float64, l.heads)
+	l.pre = make([][]float64, l.heads)
+
+	for hd := 0; hd < l.heads; hd++ {
+		z := tensor.MatMul(h, l.w[hd].Value)
+		l.z[hd] = z
+		as, ad := l.aSrc[hd].Value.Data, l.aDst[hd].Value.Data
+		// Per-vertex score halves.
+		sSrc := make([]float64, z.Rows)
+		for r := 0; r < z.Rows; r++ {
+			row := z.Row(r)
+			var s float64
+			for j, a := range as {
+				s += a * row[j]
+			}
+			sSrc[r] = s
+		}
+		sDst := make([]float64, blk.DstCount)
+		for r := 0; r < blk.DstCount; r++ {
+			row := z.Row(r)
+			var s float64
+			for j, a := range ad {
+				s += a * row[j]
+			}
+			sDst[r] = s
+		}
+		pre := make([]float64, nEdges)
+		alpha := make([]float64, nEdges)
+		for e := 0; e < nEdges; e++ {
+			v := sSrc[l.edgeSrc[e]] + sDst[l.edgeDst[e]]
+			pre[e] = v
+			if v < 0 {
+				v *= l.slope
+			}
+			alpha[e] = v
+		}
+		// Per-dst softmax over the edge ranges.
+		for i := 0; i < blk.DstCount; i++ {
+			lo, hi := l.dstOff[i], l.dstOff[i+1]
+			max := math.Inf(-1)
+			for e := lo; e < hi; e++ {
+				if alpha[e] > max {
+					max = alpha[e]
+				}
+			}
+			var sum float64
+			for e := lo; e < hi; e++ {
+				alpha[e] = math.Exp(alpha[e] - max)
+				sum += alpha[e]
+			}
+			for e := lo; e < hi; e++ {
+				alpha[e] /= sum
+			}
+		}
+		l.pre[hd] = pre
+		l.alpha[hd] = alpha
+		// Weighted sum into the head's output slice.
+		base := hd * l.perHead
+		for e := 0; e < nEdges; e++ {
+			zrow := z.Row(int(l.edgeSrc[e]))
+			orow := out.Row(int(l.edgeDst[e]))
+			a := alpha[e]
+			for j := 0; j < l.perHead; j++ {
+				orow[base+j] += a * zrow[j]
+			}
+		}
+	}
+	out.AddBias(l.bias.Value.Data)
+	return out
+}
+
+func (l *gatLayer) Backward(dy *tensor.Dense) *tensor.Dense {
+	blk := l.blk
+	nEdges := len(l.edgeSrc)
+	for j, s := range dy.ColSums() {
+		l.bias.Grad.Data[j] += s
+	}
+	dh := tensor.New(l.h.Rows, l.in)
+	for hd := 0; hd < l.heads; hd++ {
+		z := l.z[hd]
+		alpha := l.alpha[hd]
+		pre := l.pre[hd]
+		base := hd * l.perHead
+		dz := tensor.New(z.Rows, l.perHead)
+		dAlpha := make([]float64, nEdges)
+		// dz from the weighted sum; dAlpha_e = dy_i · z_src.
+		for e := 0; e < nEdges; e++ {
+			src, dst := int(l.edgeSrc[e]), int(l.edgeDst[e])
+			zrow := z.Row(src)
+			dyrow := dy.Row(dst)
+			dzrow := dz.Row(src)
+			a := alpha[e]
+			var da float64
+			for j := 0; j < l.perHead; j++ {
+				g := dyrow[base+j]
+				dzrow[j] += a * g
+				da += g * zrow[j]
+			}
+			dAlpha[e] = da
+		}
+		// Softmax backward per dst: de = α (dα - Σ α dα).
+		dPre := make([]float64, nEdges)
+		for i := 0; i < blk.DstCount; i++ {
+			lo, hi := l.dstOff[i], l.dstOff[i+1]
+			var dot float64
+			for e := lo; e < hi; e++ {
+				dot += alpha[e] * dAlpha[e]
+			}
+			for e := lo; e < hi; e++ {
+				de := alpha[e] * (dAlpha[e] - dot)
+				if pre[e] < 0 {
+					de *= l.slope
+				}
+				dPre[e] = de
+			}
+		}
+		// dPre flows to aSrc·z_src and aDst·z_dst.
+		as, ad := l.aSrc[hd].Value.Data, l.aDst[hd].Value.Data
+		dAs, dAd := l.aSrc[hd].Grad.Data, l.aDst[hd].Grad.Data
+		for e := 0; e < nEdges; e++ {
+			src, dst := int(l.edgeSrc[e]), int(l.edgeDst[e])
+			g := dPre[e]
+			zs := z.Row(src)
+			zd := z.Row(dst)
+			dzs := dz.Row(src)
+			dzd := dz.Row(dst)
+			for j := 0; j < l.perHead; j++ {
+				dAs[j] += g * zs[j]
+				dAd[j] += g * zd[j]
+				dzs[j] += g * as[j]
+				dzd[j] += g * ad[j]
+			}
+		}
+		// Through z = h·W.
+		dW := tensor.MatMulT1(l.h, dz)
+		l.w[hd].Grad.AddInPlace(dW)
+		dhHead := tensor.MatMulT2(dz, l.w[hd].Value)
+		dh.AddInPlace(dhHead)
+	}
+	return dh
+}
+
+func (l *gatLayer) Params() []*nn.Param {
+	out := make([]*nn.Param, 0, 3*l.heads+1)
+	for hd := 0; hd < l.heads; hd++ {
+		out = append(out, l.w[hd], l.aSrc[hd], l.aDst[hd])
+	}
+	return append(out, l.bias)
+}
+
+func (l *gatLayer) FLOPs(src, dst, edges int) float64 {
+	e := float64(edges + dst)                                    // incl. self edges
+	perHead := 2*float64(src)*float64(l.in)*float64(l.perHead) + // z = hW
+		e*float64(l.perHead)*3 + // scores + weighted sum
+		e*4 // softmax-ish
+	return perHead * float64(l.heads)
+}

@@ -1,0 +1,353 @@
+// Package model implements the graph neural networks the paper trains —
+// GCN, GraphSAGE and GAT — with exact forward and backward passes over
+// sampled mini-batch blocks (Algo. 1 lines 4–9: Aggregate, Combine, Loss,
+// Backwards). Everything is pure Go on the tensor/nn substrate; the
+// "device" that executes it is modeled separately in internal/sim.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// Kind names a GNN architecture.
+type Kind string
+
+// Supported architectures.
+const (
+	GCN  Kind = "gcn"
+	SAGE Kind = "sage"
+	GAT  Kind = "gat"
+)
+
+// Config describes a model instance.
+type Config struct {
+	Kind    Kind
+	InDim   int
+	Hidden  int
+	OutDim  int
+	Layers  int
+	Heads   int     // GAT only; defaults to 1
+	Dropout float64 // applied to layer inputs during training
+	Seed    int64
+}
+
+// convLayer is one graph convolution with cached state for backward.
+type convLayer interface {
+	Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense
+	Backward(dy *tensor.Dense) *tensor.Dense
+	Params() []*nn.Param
+	// FLOPs estimates the multiply-add count for a block with the given
+	// edge and vertex counts (the white-box compute model of Eq. 8).
+	FLOPs(srcCount, dstCount, edges int) float64
+}
+
+// Model is a stack of graph convolutions with activations and dropout.
+type Model struct {
+	cfg      Config
+	layers   []convLayer
+	acts     []nn.Activation
+	dropouts []*nn.Dropout
+	rng      *rand.Rand
+
+	// cached per-forward state for backward
+	lastBatch *sample.MiniBatch
+}
+
+// New builds a model per cfg.
+func New(cfg Config) (*Model, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("model: Layers = %d, want >= 1", cfg.Layers)
+	}
+	if cfg.InDim < 1 || cfg.OutDim < 1 || (cfg.Layers > 1 && cfg.Hidden < 1) {
+		return nil, fmt.Errorf("model: bad dims in=%d hidden=%d out=%d", cfg.InDim, cfg.Hidden, cfg.OutDim)
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg, rng: rng}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InDim
+		}
+		out := cfg.Hidden
+		last := l == cfg.Layers-1
+		if last {
+			out = cfg.OutDim
+		}
+		var layer convLayer
+		var err error
+		switch cfg.Kind {
+		case GCN:
+			layer = newGCNLayer(rng, fmt.Sprintf("gcn%d", l), in, out)
+		case SAGE:
+			layer = newSAGELayer(rng, fmt.Sprintf("sage%d", l), in, out)
+		case GAT:
+			heads := cfg.Heads
+			if last {
+				heads = 1 // output layer: single head, no concat
+			}
+			layer, err = newGATLayer(rng, fmt.Sprintf("gat%d", l), in, out, heads)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("model: unknown kind %q", cfg.Kind)
+		}
+		m.layers = append(m.layers, layer)
+		if !last {
+			if cfg.Kind == GAT {
+				m.acts = append(m.acts, &nn.ELU{Alpha: 1})
+			} else {
+				m.acts = append(m.acts, &nn.ReLU{})
+			}
+		}
+		m.dropouts = append(m.dropouts, &nn.Dropout{P: cfg.Dropout, Rng: rng})
+	}
+	return m, nil
+}
+
+// Cfg returns the model configuration.
+func (m *Model) Cfg() Config { return m.cfg }
+
+// Name returns the architecture name.
+func (m *Model) Name() string { return string(m.cfg.Kind) }
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// NumParams returns |Φ|, the scalar parameter count (drives Γ_model).
+func (m *Model) NumParams() int { return nn.CountParams(m.Params()) }
+
+// Forward runs the network over a mini-batch. feats holds the raw features
+// of mb.InputNodes (row i ↔ InputNodes[i]). It returns logits for
+// mb.Targets in order.
+func (m *Model) Forward(mb *sample.MiniBatch, feats *tensor.Dense, train bool) (*tensor.Dense, error) {
+	if len(mb.Blocks) != len(m.layers) {
+		return nil, fmt.Errorf("model: %d blocks for %d layers", len(mb.Blocks), len(m.layers))
+	}
+	if feats.Rows != len(mb.InputNodes) {
+		return nil, fmt.Errorf("model: feats rows %d != input nodes %d", feats.Rows, len(mb.InputNodes))
+	}
+	m.lastBatch = mb
+	h := feats
+	for l, layer := range m.layers {
+		h = m.dropouts[l].Forward(h, train)
+		h = layer.Forward(&mb.Blocks[l], h)
+		if l < len(m.acts) {
+			h = m.acts[l].Forward(h)
+		}
+	}
+	return h, nil
+}
+
+// Backward propagates dLogits through the network, accumulating parameter
+// gradients. It returns the gradient with respect to the input features
+// (rarely needed; callers may ignore it).
+func (m *Model) Backward(dLogits *tensor.Dense) *tensor.Dense {
+	d := dLogits
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		if l < len(m.acts) {
+			d = m.acts[l].Backward(d)
+		}
+		d = m.layers[l].Backward(d)
+		d = m.dropouts[l].Backward(d)
+	}
+	return d
+}
+
+// FLOPs estimates the batch's multiply-add count across all layers — the
+// white-box input to the simulator's t_compute (Eq. 8).
+func (m *Model) FLOPs(mb *sample.MiniBatch) float64 {
+	var total float64
+	for l, layer := range m.layers {
+		blk := &mb.Blocks[l]
+		total += layer.FLOPs(len(blk.SrcNodes), blk.DstCount, blk.NumEdges())
+	}
+	return total
+}
+
+// GatherFeatures copies the raw float32 features of nodes from g into a
+// float64 tensor suitable for Forward (row i ↔ nodes[i]). In the real
+// system this gather is the host-side feature lookup that precedes
+// transmission (Algo. 1 line 3).
+func GatherFeatures(g *graph.Graph, nodes []int32) *tensor.Dense {
+	out := tensor.New(len(nodes), g.FeatDim)
+	for i, v := range nodes {
+		row := out.Row(i)
+		for j, f := range g.Feature(v) {
+			row[j] = float64(f)
+		}
+	}
+	return out
+}
+
+// --- shared mean aggregation --------------------------------------------
+
+// meanAggregate computes, for each dst, the mean of its sampled neighbor
+// rows (plus optionally the dst row itself). It returns the aggregate and
+// the per-dst divisor used (for backward).
+func meanAggregate(blk *sample.Block, h *tensor.Dense, includeSelf bool) (*tensor.Dense, []float64) {
+	agg := tensor.New(blk.DstCount, h.Cols)
+	div := make([]float64, blk.DstCount)
+	for i := 0; i < blk.DstCount; i++ {
+		row := agg.Row(i)
+		n := 0
+		if includeSelf {
+			src := h.Row(i) // dst i is src position i by the prefix invariant
+			for j := range row {
+				row[j] += src[j]
+			}
+			n++
+		}
+		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
+			src := h.Row(int(ix))
+			for j := range row {
+				row[j] += src[j]
+			}
+			n++
+		}
+		if n > 0 {
+			inv := 1 / float64(n)
+			for j := range row {
+				row[j] *= inv
+			}
+			div[i] = float64(n)
+		} else {
+			div[i] = 1
+		}
+	}
+	return agg, div
+}
+
+// meanAggregateBackward scatters dAgg back to source rows.
+func meanAggregateBackward(blk *sample.Block, dAgg *tensor.Dense, div []float64, srcRows int, includeSelf bool) *tensor.Dense {
+	dh := tensor.New(srcRows, dAgg.Cols)
+	for i := 0; i < blk.DstCount; i++ {
+		inv := 1 / div[i]
+		drow := dAgg.Row(i)
+		if includeSelf {
+			dst := dh.Row(i)
+			for j := range dst {
+				dst[j] += drow[j] * inv
+			}
+		}
+		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
+			dst := dh.Row(int(ix))
+			for j := range dst {
+				dst[j] += drow[j] * inv
+			}
+		}
+	}
+	return dh
+}
+
+// --- GCN ------------------------------------------------------------------
+
+// gcnLayer computes Y = mean(self ∪ neighbors)·W + b, the sampled-subgraph
+// analogue of Kipf–Welling propagation.
+type gcnLayer struct {
+	lin *nn.Linear
+
+	blk     *sample.Block
+	div     []float64
+	srcRows int
+}
+
+func newGCNLayer(rng *rand.Rand, name string, in, out int) *gcnLayer {
+	return &gcnLayer{lin: nn.NewLinear(rng, name, in, out)}
+}
+
+func (l *gcnLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
+	l.blk = blk
+	l.srcRows = h.Rows
+	agg, div := meanAggregate(blk, h, true)
+	l.div = div
+	return l.lin.Forward(agg)
+}
+
+func (l *gcnLayer) Backward(dy *tensor.Dense) *tensor.Dense {
+	dAgg := l.lin.Backward(dy)
+	return meanAggregateBackward(l.blk, dAgg, l.div, l.srcRows, true)
+}
+
+func (l *gcnLayer) Params() []*nn.Param { return l.lin.Params() }
+
+func (l *gcnLayer) FLOPs(src, dst, edges int) float64 {
+	in := l.lin.W.Value.Rows
+	out := l.lin.W.Value.Cols
+	return float64(edges+dst)*float64(in) + // aggregation adds
+		2*float64(dst)*float64(in)*float64(out) // combine matmul
+}
+
+// --- GraphSAGE --------------------------------------------------------------
+
+// sageLayer computes Y = H_dst·W_self + mean(neighbors)·W_nb + b
+// (GraphSAGE-mean with separate self path).
+type sageLayer struct {
+	self *nn.Linear
+	nb   *nn.Linear
+
+	blk     *sample.Block
+	div     []float64
+	srcRows int
+}
+
+func newSAGELayer(rng *rand.Rand, name string, in, out int) *sageLayer {
+	return &sageLayer{
+		self: nn.NewLinear(rng, name+".self", in, out),
+		nb:   nn.NewLinear(rng, name+".nb", in, out),
+	}
+}
+
+func (l *sageLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
+	l.blk = blk
+	l.srcRows = h.Rows
+	// Self path: dst rows are the src prefix.
+	hDst := tensor.FromSlice(blk.DstCount, h.Cols, h.Data[:blk.DstCount*h.Cols])
+	ySelf := l.self.Forward(hDst)
+	agg, div := meanAggregate(blk, h, false)
+	l.div = div
+	yNb := l.nb.Forward(agg)
+	ySelf.AddInPlace(yNb)
+	return ySelf
+}
+
+func (l *sageLayer) Backward(dy *tensor.Dense) *tensor.Dense {
+	dAgg := l.nb.Backward(dy)
+	dh := meanAggregateBackward(l.blk, dAgg, l.div, l.srcRows, false)
+	dDst := l.self.Backward(dy)
+	// Scatter the self-path gradient into the dst prefix.
+	for i := 0; i < l.blk.DstCount; i++ {
+		row := dh.Row(i)
+		srow := dDst.Row(i)
+		for j := range row {
+			row[j] += srow[j]
+		}
+	}
+	return dh
+}
+
+func (l *sageLayer) Params() []*nn.Param {
+	return append(l.self.Params(), l.nb.Params()...)
+}
+
+func (l *sageLayer) FLOPs(src, dst, edges int) float64 {
+	in := l.self.W.Value.Rows
+	out := l.self.W.Value.Cols
+	return float64(edges)*float64(in) + // neighbor aggregation
+		4*float64(dst)*float64(in)*float64(out) // two matmuls
+}

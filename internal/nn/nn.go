@@ -1,0 +1,340 @@
+// Package nn provides the neural-network building blocks for the pure-Go
+// GNN trainer: parameterized linear layers, activations with exact
+// backward passes, dropout, the softmax cross-entropy loss, and the SGD
+// and Adam optimizers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnnavigator/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+}
+
+// NewParam allocates a named parameter of the given shape with a zero
+// gradient buffer.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return len(p.Value.Data) }
+
+// ZeroGrad clears the gradient buffer.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Linear is a fully connected layer Y = X·W + b.
+type Linear struct {
+	W, B *Param
+	// x caches the forward input for the backward pass.
+	x *tensor.Dense
+}
+
+// NewLinear constructs a Glorot-initialized linear layer.
+func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", in, out),
+		B: NewParam(name+".b", 1, out),
+	}
+	l.W.Value.GlorotInit(rng, in, out)
+	return l
+}
+
+// Forward computes X·W + b and caches X.
+func (l *Linear) Forward(x *tensor.Dense) *tensor.Dense {
+	l.x = x
+	y := tensor.MatMul(x, l.W.Value)
+	y.AddBias(l.B.Value.Data)
+	return y
+}
+
+// Backward accumulates dW and db and returns dX.
+func (l *Linear) Backward(dy *tensor.Dense) *tensor.Dense {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	dw := tensor.MatMulT1(l.x, dy)
+	l.W.Grad.AddInPlace(dw)
+	for j, s := range dy.ColSums() {
+		l.B.Grad.Data[j] += s
+	}
+	return tensor.MatMulT2(dy, l.W.Value)
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Activation is an elementwise nonlinearity with an exact derivative.
+type Activation interface {
+	// Forward applies the nonlinearity, returning a new matrix and caching
+	// what the backward pass needs.
+	Forward(x *tensor.Dense) *tensor.Dense
+	// Backward maps upstream gradients through the nonlinearity.
+	Backward(dy *tensor.Dense) *tensor.Dense
+	Name() string
+}
+
+// ReLU is max(0, x).
+type ReLU struct{ mask []bool }
+
+// Name implements Activation.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Activation.
+func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	out := x.Clone()
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Activation.
+func (r *ReLU) Backward(dy *tensor.Dense) *tensor.Dense {
+	out := dy.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ELU is x for x>0, alpha*(e^x - 1) otherwise.
+type ELU struct {
+	Alpha float64
+	x     *tensor.Dense
+}
+
+// Name implements Activation.
+func (e *ELU) Name() string { return "elu" }
+
+// Forward implements Activation.
+func (e *ELU) Forward(x *tensor.Dense) *tensor.Dense {
+	if e.Alpha == 0 {
+		e.Alpha = 1
+	}
+	e.x = x.Clone()
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = e.Alpha * (math.Exp(v) - 1)
+		}
+	}
+	return out
+}
+
+// Backward implements Activation.
+func (e *ELU) Backward(dy *tensor.Dense) *tensor.Dense {
+	out := dy.Clone()
+	for i, v := range e.x.Data {
+		if v <= 0 {
+			out.Data[i] *= e.Alpha * math.Exp(v)
+		}
+	}
+	return out
+}
+
+// LeakyReLU is x for x>0, slope*x otherwise (used by GAT attention).
+type LeakyReLU struct {
+	Slope float64
+	x     *tensor.Dense
+}
+
+// Name implements Activation.
+func (l *LeakyReLU) Name() string { return "leaky_relu" }
+
+// Forward implements Activation.
+func (l *LeakyReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	if l.Slope == 0 {
+		l.Slope = 0.2
+	}
+	l.x = x.Clone()
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = l.Slope * v
+		}
+	}
+	return out
+}
+
+// Backward implements Activation.
+func (l *LeakyReLU) Backward(dy *tensor.Dense) *tensor.Dense {
+	out := dy.Clone()
+	for i, v := range l.x.Data {
+		if v < 0 {
+			out.Data[i] *= l.Slope
+		}
+	}
+	return out
+}
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1-P) (inverted dropout).
+type Dropout struct {
+	P    float64
+	Rng  *rand.Rand
+	mask []float64
+}
+
+// Forward applies dropout when train is true; identity otherwise.
+func (d *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	out := x.Clone()
+	d.mask = make([]float64, len(x.Data))
+	for i := range out.Data {
+		if d.Rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			out.Data[i] *= d.mask[i]
+		} else {
+			d.mask[i] = 0
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward maps gradients through the dropout mask.
+func (d *Dropout) Backward(dy *tensor.Dense) *tensor.Dense {
+	if d.mask == nil {
+		return dy
+	}
+	out := dy.Clone()
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy loss over rows of logits
+// against integer labels, returning the loss and dLogits (already averaged
+// over the batch).
+func SoftmaxCrossEntropy(logits *tensor.Dense, labels []int32) (float64, *tensor.Dense) {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: logits rows %d != labels %d", logits.Rows, len(labels)))
+	}
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	n := float64(logits.Rows)
+	var loss float64
+	grad := probs.Clone()
+	for i, y := range labels {
+		p := probs.At(i, int(y))
+		loss -= math.Log(math.Max(p, 1e-12))
+		grad.Set(i, int(y), grad.At(i, int(y))-1)
+	}
+	grad.ScaleInPlace(1 / n)
+	return loss / n, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Dense, labels []int32) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	pred := logits.ArgmaxRows()
+	var correct int
+	for i, y := range labels {
+		if pred[i] == int(y) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
+			p.Value.Data[i] -= o.LR * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns Adam with the conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make(map[*Param][]float64)
+		o.v = make(map[*Param][]float64)
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			o.m[p] = m
+			o.v[p] = make([]float64, len(p.Value.Data))
+		}
+		v := o.v[p]
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// CountParams returns the total number of scalars across params.
+func CountParams(params []*Param) int {
+	var n int
+	for _, p := range params {
+		n += p.Size()
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnavigator/internal/graph"
+)
+
+// TestSameSeedSameSample: sampling is deterministic given the rng state.
+func TestSameSeedSameSample(t *testing.T) {
+	g := testGraph(t)
+	for _, s := range []Sampler{
+		&NodeWise{Fanouts: []int{5, 3}},
+		&LayerWise{Deltas: []int{30, 20}},
+		&SubgraphWise{WalkLength: 5, Layers: 2},
+	} {
+		tg := targets(20, 400, 3)
+		a := s.Sample(rand.New(rand.NewSource(7)), g, tg)
+		b := s.Sample(rand.New(rand.NewSource(7)), g, tg)
+		if a.NumVertices != b.NumVertices || a.NumEdges != b.NumEdges {
+			t.Errorf("%s: same seed differed: %d/%d vs %d/%d",
+				s.Name(), a.NumVertices, a.NumEdges, b.NumVertices, b.NumEdges)
+		}
+		for i := range a.InputNodes {
+			if a.InputNodes[i] != b.InputNodes[i] {
+				t.Fatalf("%s: input node order differs at %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+// TestLayerWiseBoundsLayerWidth is the Eq. 3 motivation: layer-wise
+// sampling caps per-hop growth by a budget, while node-wise growth is
+// multiplicative in the frontier.
+func TestLayerWiseBoundsLayerWidth(t *testing.T) {
+	g := testGraph(t)
+	rng := rand.New(rand.NewSource(5))
+	tg := targets(64, 400, 6)
+	nw := (&NodeWise{Fanouts: []int{10, 10}}).Sample(rng, g, tg)
+	lw := (&LayerWise{Deltas: []int{40, 40}}).Sample(rand.New(rand.NewSource(5)), g, tg)
+	if lw.NumVertices >= nw.NumVertices {
+		t.Errorf("layer-wise |Vi| %d not below node-wise %d at these budgets",
+			lw.NumVertices, nw.NumVertices)
+	}
+	// Layer-wise total growth is bounded by the sum of budgets.
+	nTargets := len(lw.Targets)
+	if lw.NumVertices > nTargets+40+40 {
+		t.Errorf("layer-wise grew %d vertices beyond budget %d", lw.NumVertices-nTargets, 80)
+	}
+}
+
+// TestSubgraphWalkLengthGrowsBatch: longer walks visit more vertices.
+func TestSubgraphWalkLengthGrowsBatch(t *testing.T) {
+	g := testGraph(t)
+	tg := targets(16, 400, 9)
+	short := (&SubgraphWise{WalkLength: 2, Layers: 2}).Sample(rand.New(rand.NewSource(1)), g, tg)
+	long := (&SubgraphWise{WalkLength: 20, Layers: 2}).Sample(rand.New(rand.NewSource(1)), g, tg)
+	if long.NumVertices <= short.NumVertices {
+		t.Errorf("walk 20 batch %d not above walk 2 batch %d", long.NumVertices, short.NumVertices)
+	}
+}
+
+// TestIsolatedVertexSampling: a vertex with no neighbors still produces a
+// structurally valid (self-only) batch.
+func TestIsolatedVertexSampling(t *testing.T) {
+	// Vertex 0 is isolated; 1 and 2 share an edge.
+	g, err := graph.FromAdjList([][]int32{nil, {2}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &NodeWise{Fanouts: []int{4, 4}}
+	mb := s.Sample(rand.New(rand.NewSource(1)), g, []int32{0}) // isolated
+	if err := mb.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if mb.NumVertices != 1 || mb.NumEdges != 0 {
+		t.Errorf("isolated batch: %d vertices %d edges, want 1/0", mb.NumVertices, mb.NumEdges)
+	}
+}
+
+// TestBiasStrengthZeroEqualsUniform: bias with zero strength must be
+// byte-identical to the uniform path.
+func TestBiasStrengthZeroEqualsUniform(t *testing.T) {
+	g := testGraph(t)
+	bias := func(v int32) float64 { return 100 }
+	tg := targets(16, 400, 4)
+	a := (&NodeWise{Fanouts: []int{6}}).Sample(rand.New(rand.NewSource(2)), g, tg)
+	b := (&NodeWise{Fanouts: []int{6}, Bias: bias, BiasStrength: 0}).Sample(rand.New(rand.NewSource(2)), g, tg)
+	if a.NumVertices != b.NumVertices || a.NumEdges != b.NumEdges {
+		t.Error("zero-strength bias changed sampling")
+	}
+}

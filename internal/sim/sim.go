@@ -1,0 +1,225 @@
+// Package sim is the executable form of the paper's white-box performance
+// model: per-batch timing (Eqs. 5–8), pipelined epoch time (Eq. 4) and the
+// device memory decomposition (Eqs. 9–10).
+//
+// The backend measures real per-batch volumes (sampled vertices, cache
+// misses, edges, FLOPs) by actually running samplers, caches and the Go
+// trainer on the scaled synthetic graphs, then hands those volumes to this
+// package, which scales them to paper-size workloads and converts them to
+// simulated seconds and bytes on a hw.Platform. This is precisely the
+// "theoretical analysis" half of the gray-box estimator, made executable
+// and deterministic.
+package sim
+
+import (
+	"fmt"
+
+	"gnnavigator/internal/hw"
+)
+
+// Workload scales measured per-batch volumes to paper scale.
+type Workload struct {
+	// VertexScale multiplies vertex and edge counts (the dataset's
+	// FullVertices / scaled |V|).
+	VertexScale float64
+	// FeatDim is the paper-scale per-vertex attribute dimension n_attr.
+	FeatDim int
+	// BytesPerScalar is the feature element width (4 for float32).
+	BytesPerScalar float64
+}
+
+// Validate checks workload sanity.
+func (w Workload) Validate() error {
+	if w.VertexScale <= 0 || w.FeatDim <= 0 || w.BytesPerScalar <= 0 {
+		return fmt.Errorf("sim: invalid workload %+v", w)
+	}
+	return nil
+}
+
+// BatchVolumes carries the measured, *scaled-graph* quantities of one
+// mini-batch iteration. All counts are raw (unscaled); the simulator
+// applies Workload.VertexScale.
+type BatchVolumes struct {
+	// SampledVertices is |V_i|, the distinct vertices in the mini-batch.
+	SampledVertices int
+	// TargetVertices is |B_0|, the seed set size.
+	TargetVertices int
+	// InputVertices is the number of vertices whose features are needed on
+	// device (the first block's sources).
+	InputVertices int
+	// MissVertices is the subset of InputVertices absent from the device
+	// cache — the transfer volume numerator of Eq. 6.
+	MissVertices int
+	// CacheUpdateOps is the number of replacement operations (Eq. 5).
+	CacheUpdateOps int
+	// SampledEdges is the total sampled message edges.
+	SampledEdges int
+	// FLOPs is the model's forward+backward multiply-add estimate for this
+	// batch at *scaled-graph* feature dims; the simulator rescales the
+	// input-layer share via FeatureFLOPShare.
+	FLOPs float64
+	// FeatureFLOPShare in [0,1] is the fraction of FLOPs proportional to
+	// the input feature dimension (layer-0 work).
+	FeatureFLOPShare float64
+	// ScaledFeatDim is the scaled-graph feature dimension the FLOPs were
+	// computed with.
+	ScaledFeatDim int
+	// Layers is the model depth (kernel launches per batch ∝ layers).
+	Layers int
+	// WalkSteps counts random-walk steps for subgraph samplers (0 for
+	// node/layer-wise); they add host sampling work not captured by edges.
+	WalkSteps int
+}
+
+// BatchTiming is the per-component cost of one iteration, in seconds.
+type BatchTiming struct {
+	TSample   float64 // Eq. 7: host-side sampling
+	TTransfer float64 // Eq. 6: host→device feature movement
+	TReplace  float64 // Eq. 5: cache update on device
+	TCompute  float64 // Eq. 8: aggregate/combine forward+backward
+}
+
+// HostSide returns the host pipeline occupancy t_sample + t_transfer.
+func (t BatchTiming) HostSide() float64 { return t.TSample + t.TTransfer }
+
+// DeviceSide returns the device pipeline occupancy t_replace + t_compute.
+func (t BatchTiming) DeviceSide() float64 { return t.TReplace + t.TCompute }
+
+// Critical returns the pipelined per-iteration latency max(host, device),
+// the inner term of Eq. 4.
+func (t BatchTiming) Critical() float64 {
+	h, d := t.HostSide(), t.DeviceSide()
+	if h > d {
+		return h
+	}
+	return d
+}
+
+// Total returns the unpipelined sum (used for ablation of Eq. 4's max).
+func (t BatchTiming) Total() float64 {
+	return t.HostSide() + t.DeviceSide()
+}
+
+// EstimateBatch converts measured batch volumes into per-component times
+// on the platform, at paper scale.
+func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
+	vs := w.VertexScale
+	featBytes := float64(w.FeatDim) * w.BytesPerScalar
+
+	// Eq. 7: t_sample = f(|V_i| - |B_0|, Host). Neighbor expansion cost is
+	// proportional to sampled edges (plus walk steps), parallel over cores.
+	hostEdges := (float64(v.SampledEdges) + float64(v.WalkSteps)) * vs
+	tSample := hostEdges/(p.Host.SampleEdgesPerSec*float64(p.Host.Cores)) + 30e-6
+	// Feature gather for the missing rows happens on the host too.
+	missBytes := float64(v.MissVertices) * vs * featBytes
+	tSample += missBytes / p.Host.GatherBytesPerSec
+
+	// Eq. 6: t_transfer = f(n_attr · |V_i|(1-hit), Host, Device).
+	tTransfer := missBytes/p.Link.BytesPerSec + p.Link.LatencySec
+
+	// Eq. 5: t_replace = f(r|V|, |V_i|(1-hit), Device): write the admitted
+	// rows and fix the indexing structures.
+	updBytes := float64(v.CacheUpdateOps) * vs * featBytes
+	var tReplace float64
+	if v.CacheUpdateOps > 0 {
+		tReplace = updBytes/p.Device.MemBytesPerSec + 20e-6
+	}
+
+	// Eq. 8: t_compute = f(V_i, M, Device). Rescale the feature-dependent
+	// share of FLOPs from the scaled feature dim to the full one, then
+	// scale the whole batch by vertex scale.
+	flops := v.FLOPs
+	if v.ScaledFeatDim > 0 && w.FeatDim != v.ScaledFeatDim {
+		ratio := float64(w.FeatDim) / float64(v.ScaledFeatDim)
+		flops = flops*(1-v.FeatureFLOPShare) + flops*v.FeatureFLOPShare*ratio
+	}
+	flops *= vs
+	// Forward + backward ≈ 3x forward cost (standard rule of thumb).
+	tCompute := 3*flops/(p.Device.EffGFLOPS*1e9) +
+		float64(2*v.Layers+1)*p.Device.KernelLaunchSec
+	// Memory-bound floor: each sampled edge moves one embedding row.
+	embBytes := float64(v.SampledEdges) * vs * featBytes * 0.5
+	if mem := embBytes / p.Device.MemBytesPerSec; mem > tCompute {
+		tCompute = mem
+	}
+
+	return BatchTiming{TSample: tSample, TTransfer: tTransfer, TReplace: tReplace, TCompute: tCompute}
+}
+
+// EpochTime implements Eq. 4: T = n_iter · max(t_sample + t_transfer,
+// t_replace + t_compute), summed over the measured iterations (which also
+// handles heterogeneous batch sizes exactly).
+func EpochTime(batches []BatchTiming) float64 {
+	var total float64
+	for _, b := range batches {
+		total += b.Critical()
+	}
+	return total
+}
+
+// EpochTimeUnpipelined sums the serial (non-overlapped) iteration costs;
+// the ablation benchmark compares this against EpochTime to quantify the
+// value of the pipeline model.
+func EpochTimeUnpipelined(batches []BatchTiming) float64 {
+	var total float64
+	for _, b := range batches {
+		total += b.Total()
+	}
+	return total
+}
+
+// MemoryVolumes carries what Eq. 9–10 need.
+type MemoryVolumes struct {
+	// ModelParams is |Φ|, scalar parameter count.
+	ModelParams int
+	// CacheVertices is r·|V| at paper scale already (capacity in vertices).
+	CacheVertices float64
+	// PeakBatchVertices is max_i |V_i| (unscaled; simulator scales it).
+	PeakBatchVertices int
+	// PeakBatchEdges is max_i sampled edges (unscaled). Scatter-gather GNN
+	// frameworks materialize a per-edge message buffer of the layer width
+	// (and per-edge attention coefficients for GAT), so edge count is a
+	// first-order driver of Γ_runtime.
+	PeakBatchEdges int
+	// HiddenDims sums the per-layer embedding widths (runtime activations
+	// are proportional to it).
+	HiddenDims int
+	// MaxWidth is the widest layer dimension (per-edge message width).
+	MaxWidth int
+	// Layers is the model depth.
+	Layers int
+}
+
+// MemoryBreakdown is Eq. 9's decomposition, in bytes.
+type MemoryBreakdown struct {
+	Model   float64
+	Cache   float64
+	Runtime float64
+}
+
+// Total returns Γ = Γ_model + Γ_cache + Γ_runtime.
+func (m MemoryBreakdown) Total() float64 { return m.Model + m.Cache + m.Runtime }
+
+// EstimateMemory implements Eqs. 9–10.
+func EstimateMemory(v MemoryVolumes, w Workload) MemoryBreakdown {
+	bytesPer := w.BytesPerScalar
+	// Γ_model ∝ |Φ|: value + grad + two Adam moments.
+	model := float64(v.ModelParams) * bytesPer * 4
+	// Γ_cache = f(r|V| · n_attr).
+	cacheB := v.CacheVertices * float64(w.FeatDim) * bytesPer
+	// Γ_runtime = f(|V_i|, Φ): input features + activations (forward +
+	// retained for backward → 2x) across layers, plus the per-edge message
+	// buffer scatter-gather frameworks materialize.
+	peak := float64(v.PeakBatchVertices) * w.VertexScale
+	runtime := peak * (float64(w.FeatDim) + 2*float64(v.HiddenDims)) * bytesPer
+	runtime += float64(v.PeakBatchEdges) * w.VertexScale * float64(v.MaxWidth) * bytesPer
+	// CUDA-style allocator and kernel workspace overhead.
+	runtime += 64 * 1024 * 1024
+	return MemoryBreakdown{Model: model, Cache: cacheB, Runtime: runtime}
+}
+
+// FitsDevice reports whether the memory breakdown fits the device,
+// leaving headroomFraction (e.g. 0.05) spare.
+func FitsDevice(m MemoryBreakdown, p hw.Platform, headroomFraction float64) bool {
+	return m.Total() <= p.Device.MemCapacityBytes*(1-headroomFraction)
+}

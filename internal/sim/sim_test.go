@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gnnavigator/internal/hw"
+)
+
+func workload() Workload {
+	return Workload{VertexScale: 30, FeatDim: 602, BytesPerScalar: 4}
+}
+
+func volumes() BatchVolumes {
+	return BatchVolumes{
+		SampledVertices:  8000,
+		TargetVertices:   1024,
+		InputVertices:    8000,
+		MissVertices:     3000,
+		CacheUpdateOps:   0,
+		SampledEdges:     20000,
+		FLOPs:            5e7,
+		FeatureFLOPShare: 0.5,
+		ScaledFeatDim:    48,
+		Layers:           2,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := workload().Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+	bad := workload()
+	bad.FeatDim = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestPlatformProfilesValid(t *testing.T) {
+	for name, p := range hw.Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestEstimateBatchComponentsPositive(t *testing.T) {
+	tm := EstimateBatch(volumes(), hw.RTX4090(), workload())
+	if tm.TSample <= 0 || tm.TTransfer <= 0 || tm.TCompute <= 0 {
+		t.Errorf("non-positive component: %+v", tm)
+	}
+	if tm.TReplace != 0 {
+		t.Errorf("TReplace = %v, want 0 with no cache updates", tm.TReplace)
+	}
+	v := volumes()
+	v.CacheUpdateOps = 2000
+	tm2 := EstimateBatch(v, hw.RTX4090(), workload())
+	if tm2.TReplace <= 0 {
+		t.Error("TReplace = 0 despite cache updates")
+	}
+}
+
+func TestMissesDriveTransfer(t *testing.T) {
+	v := volumes()
+	p := hw.RTX4090()
+	w := workload()
+	high := EstimateBatch(v, p, w)
+	v.MissVertices = 100
+	low := EstimateBatch(v, p, w)
+	if low.TTransfer >= high.TTransfer {
+		t.Errorf("fewer misses did not reduce transfer: %v vs %v", low.TTransfer, high.TTransfer)
+	}
+}
+
+func TestCriticalIsMax(t *testing.T) {
+	b := BatchTiming{TSample: 1, TTransfer: 2, TReplace: 0.5, TCompute: 1}
+	if b.Critical() != 3 {
+		t.Errorf("Critical = %v, want 3 (host side)", b.Critical())
+	}
+	if b.Total() != 4.5 {
+		t.Errorf("Total = %v, want 4.5", b.Total())
+	}
+	b2 := BatchTiming{TSample: 0.1, TTransfer: 0.1, TReplace: 1, TCompute: 3}
+	if b2.Critical() != 4 {
+		t.Errorf("Critical = %v, want 4 (device side)", b2.Critical())
+	}
+}
+
+func TestEpochTimePipelinedLower(t *testing.T) {
+	batches := []BatchTiming{
+		{TSample: 1, TTransfer: 1, TCompute: 1.5},
+		{TSample: 0.5, TTransfer: 0.5, TCompute: 2},
+	}
+	pip := EpochTime(batches)
+	ser := EpochTimeUnpipelined(batches)
+	if pip >= ser {
+		t.Errorf("pipelined %v >= serial %v", pip, ser)
+	}
+	// Batch 1: max(1+1, 1.5) = 2; batch 2: max(0.5+0.5, 2) = 2.
+	if pip != 4 {
+		t.Errorf("pipelined = %v, want 4", pip)
+	}
+}
+
+func TestFasterDeviceReducesCompute(t *testing.T) {
+	v := volumes()
+	w := workload()
+	slow := EstimateBatch(v, hw.M90(), w)
+	fast := EstimateBatch(v, hw.A100(), w)
+	if fast.TCompute >= slow.TCompute {
+		t.Errorf("A100 compute %v >= M90 %v", fast.TCompute, slow.TCompute)
+	}
+}
+
+func TestFeatureDimRescaling(t *testing.T) {
+	v := volumes()
+	p := hw.RTX4090()
+	small := workload()
+	small.FeatDim = 48 // same as scaled: no rescale
+	big := workload()  // 602
+	tSmall := EstimateBatch(v, p, small)
+	tBig := EstimateBatch(v, p, big)
+	if tBig.TCompute <= tSmall.TCompute {
+		t.Errorf("larger full feature dim did not increase compute: %v vs %v",
+			tBig.TCompute, tSmall.TCompute)
+	}
+}
+
+func TestEstimateMemoryBreakdown(t *testing.T) {
+	w := workload()
+	m := EstimateMemory(MemoryVolumes{
+		ModelParams:       100_000,
+		CacheVertices:     50_000,
+		PeakBatchVertices: 8000,
+		HiddenDims:        64,
+		Layers:            2,
+	}, w)
+	if m.Model <= 0 || m.Cache <= 0 || m.Runtime <= 0 {
+		t.Errorf("non-positive memory component: %+v", m)
+	}
+	wantModel := 100_000.0 * 4 * 4
+	if m.Model != wantModel {
+		t.Errorf("Model = %v, want %v", m.Model, wantModel)
+	}
+	wantCache := 50_000.0 * 602 * 4
+	if m.Cache != wantCache {
+		t.Errorf("Cache = %v, want %v", m.Cache, wantCache)
+	}
+	if m.Total() != m.Model+m.Cache+m.Runtime {
+		t.Error("Total != sum of parts")
+	}
+}
+
+func TestZeroCacheHasNoCacheMemory(t *testing.T) {
+	m := EstimateMemory(MemoryVolumes{ModelParams: 10, PeakBatchVertices: 10, HiddenDims: 8}, workload())
+	if m.Cache != 0 {
+		t.Errorf("Cache = %v, want 0", m.Cache)
+	}
+}
+
+func TestFitsDevice(t *testing.T) {
+	p := hw.M90() // 8 GiB
+	small := MemoryBreakdown{Model: 1e6, Cache: 1e6, Runtime: 1e6}
+	if !FitsDevice(small, p, 0.05) {
+		t.Error("3 MB reported as not fitting 8 GiB")
+	}
+	huge := MemoryBreakdown{Cache: 16 * hw.GiB}
+	if FitsDevice(huge, p, 0.05) {
+		t.Error("16 GiB reported as fitting 8 GiB")
+	}
+}
+
+// Property: every timing component is non-negative and monotone in vertex
+// scale.
+func TestTimingMonotoneInScaleProperty(t *testing.T) {
+	p := hw.RTX4090()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := BatchVolumes{
+			SampledVertices:  100 + rng.Intn(10000),
+			TargetVertices:   1 + rng.Intn(1000),
+			InputVertices:    100 + rng.Intn(10000),
+			MissVertices:     rng.Intn(5000),
+			CacheUpdateOps:   rng.Intn(3000),
+			SampledEdges:     100 + rng.Intn(50000),
+			FLOPs:            1e5 + rng.Float64()*1e8,
+			FeatureFLOPShare: rng.Float64(),
+			ScaledFeatDim:    16 + rng.Intn(64),
+			Layers:           1 + rng.Intn(3),
+		}
+		w1 := Workload{VertexScale: 1 + rng.Float64()*10, FeatDim: 64 + rng.Intn(600), BytesPerScalar: 4}
+		w2 := w1
+		w2.VertexScale *= 2
+		t1 := EstimateBatch(v, p, w1)
+		t2 := EstimateBatch(v, p, w2)
+		if t1.TSample < 0 || t1.TTransfer < 0 || t1.TReplace < 0 || t1.TCompute < 0 {
+			return false
+		}
+		return t2.TSample >= t1.TSample && t2.TTransfer >= t1.TTransfer &&
+			t2.TReplace >= t1.TReplace && t2.TCompute >= t1.TCompute &&
+			t2.Critical() >= t1.Critical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory total is monotone in every volume knob.
+func TestMemoryMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := Workload{VertexScale: 1 + rng.Float64()*20, FeatDim: 32 + rng.Intn(600), BytesPerScalar: 4}
+		base := MemoryVolumes{
+			ModelParams:       1000 + rng.Intn(100000),
+			CacheVertices:     float64(rng.Intn(100000)),
+			PeakBatchVertices: 100 + rng.Intn(10000),
+			HiddenDims:        16 + rng.Intn(256),
+			Layers:            1 + rng.Intn(4),
+		}
+		m0 := EstimateMemory(base, w).Total()
+		up := base
+		up.ModelParams *= 2
+		if EstimateMemory(up, w).Total() < m0 {
+			return false
+		}
+		up = base
+		up.CacheVertices += 1000
+		if EstimateMemory(up, w).Total() <= m0 {
+			return false
+		}
+		up = base
+		up.PeakBatchVertices *= 2
+		return EstimateMemory(up, w).Total() > m0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithMemoryCapsCache(t *testing.T) {
+	p := hw.RTX4090().WithMemory(2 * hw.GiB)
+	if p.Device.MemCapacityBytes != 2*hw.GiB {
+		t.Errorf("WithMemory = %v", p.Device.MemCapacityBytes)
+	}
+	if got := p.FreeForCacheBytes(3 * hw.GiB); got != 0 {
+		t.Errorf("FreeForCacheBytes over budget = %v, want 0", got)
+	}
+	if got := p.FreeForCacheBytes(0.5 * hw.GiB); got != 1.5*hw.GiB {
+		t.Errorf("FreeForCacheBytes = %v, want 1.5 GiB", got)
+	}
+}

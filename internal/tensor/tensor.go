@@ -1,0 +1,262 @@
+// Package tensor implements the dense row-major float64 matrices that the
+// pure-Go GNN training engine is built on. It provides exactly the
+// operations forward/backward passes need — matmul in the three layouts
+// (AB, AᵀB, ABᵀ), broadcast bias, elementwise maps, row gather/scatter —
+// and nothing speculative.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major Rows x Cols matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a Rows x Cols matrix.
+func FromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns row i (aliases storage).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Zero clears all elements in place.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// GlorotInit fills m with Glorot/Xavier-uniform values for a layer with
+// fanIn inputs and fanOut outputs.
+func (m *Dense) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MatMul returns a·b (a: n×k, b: k×m → n×m).
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b, reusing out's storage.
+func MatMulInto(out, a, b *Dense) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	out.Zero()
+	// i-k-j loop order streams b's rows, which is cache-friendly for
+	// row-major storage.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulT1 returns aᵀ·b (a: k×n, b: k×m → n×m). Used for dW = Xᵀ·dY.
+func MatMulT1(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1 shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a·bᵀ (a: n×k, b: m×k → n×m). Used for dX = dY·Wᵀ.
+func MatMulT2(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2 shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// AddBias adds row vector bias (1×Cols) to every row of m, in place.
+func (m *Dense) AddBias(bias []float64) {
+	if len(bias) != m.Cols {
+		panic("tensor: AddBias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// AddInPlace computes m += other.
+func (m *Dense) AddInPlace(other *Dense) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// ScaleInPlace computes m *= s.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Apply maps f over every element, in place.
+func (m *Dense) Apply(f func(float64) float64) {
+	for i := range m.Data {
+		m.Data[i] = f(m.Data[i])
+	}
+}
+
+// ColSums returns the per-column sums (length Cols). Used for bias grads.
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// GatherRows returns the matrix whose row i is m.Row(idx[i]).
+func GatherRows(m *Dense, idx []int32) *Dense {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(int(r)))
+	}
+	return out
+}
+
+// ScatterAddRows adds src.Row(i) into dst.Row(idx[i]) for all i.
+func ScatterAddRows(dst, src *Dense, idx []int32) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for i, r := range idx {
+		drow := dst.Row(int(r))
+		srow := src.Row(i)
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row, in place.
+func (m *Dense) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}
+
+// ArgmaxRows returns, for each row, the index of its maximum element.
+func (m *Dense) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bestJ := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
