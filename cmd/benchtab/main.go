@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gnnavigator/internal/experiments"
+	"gnnavigator/internal/tensor"
 )
 
 type runner func(io.Writer, experiments.Fidelity) error
@@ -33,10 +34,23 @@ func wrap[T any](f func(io.Writer, experiments.Fidelity) (T, error)) runner {
 func main() {
 	log.SetFlags(0)
 	var (
-		exp  = flag.String("exp", "all", "experiment to regenerate")
-		full = flag.Bool("full", false, "full fidelity (slower, evaluation defaults)")
+		exp      = flag.String("exp", "all", "experiment to regenerate")
+		full     = flag.Bool("full", false, "full fidelity (slower, evaluation defaults)")
+		procs    = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
+		parBench = flag.Bool("parallel-bench", false, "measure serial vs 2/4/8-worker speedups and write BENCH_parallel.json")
+		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel-bench")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		tensor.SetParallelism(*procs)
+	}
+	if *parBench {
+		if err := runParallelBench(*parOut); err != nil {
+			log.Fatalf("parallel-bench: %v", err)
+		}
+		return
+	}
 
 	fidelity := experiments.Quick
 	if *full {

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/tensor"
+)
+
+// parallelWorkerCounts is the speedup-table column set.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelBenchEntry is one row of BENCH_parallel.json: per-worker-count
+// wall time and the speedup relative to serial.
+type ParallelBenchEntry struct {
+	Name    string          `json:"name"`
+	Unit    string          `json:"unit"` // what one op is
+	Seconds map[int]float64 `json:"seconds_per_op"`
+	Speedup map[int]float64 `json:"speedup_vs_serial"`
+}
+
+// ParallelBenchReport is the whole BENCH_parallel.json document.
+type ParallelBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Workers    []int                `json:"workers"`
+	Entries    []ParallelBenchEntry `json:"entries"`
+}
+
+// timeOp measures seconds/op of fn, autoscaling iterations to ~200ms.
+func timeOp(fn func()) float64 {
+	fn() // warm up (pool spin-up, page faults)
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el > 200*time.Millisecond || iters > 1<<20 {
+			return el.Seconds() / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+// runParallelBench produces the serial-vs-N-workers speedup table for the
+// sharded kernels plus a full training epoch, writes it to outPath, and
+// prints it. Kernel shapes follow the acceptance benchmarks (256³).
+func runParallelBench(outPath string) error {
+	prev := tensor.Parallelism()
+	defer tensor.SetParallelism(prev)
+
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *tensor.Dense {
+		m := tensor.New(256, 256)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	a, b, out := mk(), mk(), tensor.New(256, 256)
+	idx := make([]int32, 4096)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(256))
+	}
+	gsrc := tensor.New(len(idx), 256)
+	for i := range gsrc.Data {
+		gsrc.Data[i] = rng.NormFloat64()
+	}
+	gout := tensor.New(len(idx), 256)
+
+	epochCfg, err := backend.FromTemplate(backend.TemplatePyG, dataset.OgbnArxiv, model.SAGE, "rtx4090")
+	if err != nil {
+		return err
+	}
+	epochCfg.Epochs = 1
+
+	cases := []struct {
+		name, unit string
+		fn         func()
+	}{
+		{"MatMulInto", "256x256x256 matmul", func() { tensor.MatMulInto(out, a, b) }},
+		{"MatMulT1Into", "256x256x256 matmul", func() { tensor.MatMulT1Into(out, a, b) }},
+		{"MatMulT2Into", "256x256x256 matmul", func() { tensor.MatMulT2Into(out, a, b) }},
+		{"GatherRowsInto", "4096 rows x 256", func() { tensor.GatherRowsInto(gout, a, idx) }},
+		{"ScatterAddRows", "4096 rows x 256", func() { tensor.ScatterAddRows(out, gsrc, idx) }},
+		{"SoftmaxRows", "256x256", func() { a.SoftmaxRows() }},
+		{"TrainEpoch", "ogbn-arxiv SAGE epoch", func() {
+			if _, err := backend.RunWith(epochCfg, backend.Options{EvalBatch: 512}); err != nil {
+				panic(err)
+			}
+		}},
+	}
+
+	report := ParallelBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    parallelWorkerCounts,
+	}
+	for _, c := range cases {
+		e := ParallelBenchEntry{
+			Name:    c.name,
+			Unit:    c.unit,
+			Seconds: map[int]float64{},
+			Speedup: map[int]float64{},
+		}
+		for _, w := range parallelWorkerCounts {
+			tensor.SetParallelism(w)
+			e.Seconds[w] = timeOp(c.fn)
+		}
+		for _, w := range parallelWorkerCounts {
+			e.Speedup[w] = e.Seconds[1] / e.Seconds[w]
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-16s", c.name)
+		for _, w := range parallelWorkerCounts {
+			fmt.Printf("  %dw %.3gms (%.2fx)", w, 1e3*e.Seconds[w], e.Speedup[w])
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"gnnavigator/internal/dse"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
+	"gnnavigator/internal/tensor"
 )
 
 func main() {
@@ -37,8 +38,13 @@ func main() {
 		epochs    = flag.Int("epochs", 3, "training epochs")
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
+		procs     = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		tensor.SetParallelism(*procs)
+	}
 
 	if _, ok := hw.Profiles()[*platform]; !ok {
 		log.Fatalf("unknown platform %q; have: rtx4090, rtx4090-8g, a100, m90, m90-2g", *platform)

@@ -1,0 +1,3 @@
+module gnnavigator
+
+go 1.24

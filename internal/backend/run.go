@@ -14,6 +14,7 @@ import (
 	"gnnavigator/internal/nn"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/sim"
+	"gnnavigator/internal/tensor"
 )
 
 // Perf is the measured performance triple Perf⟨T, Γ, Acc⟩ of §3.1, plus
@@ -55,6 +56,13 @@ type Options struct {
 	SkipTraining bool
 	// EvalBatch limits validation to this many vertices (0 = all).
 	EvalBatch int
+	// Parallelism overrides the tensor worker count for this run
+	// (0 = keep the process-wide setting; 1 = serial deterministic
+	// reference path). Outputs are bitwise-identical at any setting.
+	// The override mutates the process-wide tensor setting for the
+	// run's duration (restored on return), so runs with different
+	// non-zero Parallelism values must not execute concurrently.
+	Parallelism int
 }
 
 // Run executes cfg on the backend and returns its performance.
@@ -64,6 +72,11 @@ func Run(cfg Config) (*Perf, error) { return RunWith(cfg, Options{}) }
 func RunWith(cfg Config, opts Options) (*Perf, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Parallelism > 0 {
+		prev := tensor.Parallelism()
+		tensor.SetParallelism(opts.Parallelism)
+		defer tensor.SetParallelism(prev)
 	}
 	start := time.Now()
 	ds, err := dataset.Load(cfg.Dataset)
@@ -154,6 +167,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	var sumTiming sim.BatchTiming
 	trainRng := rand.New(rand.NewSource(cfg.Seed + 13))
 
+	// The run owns one workspace arena: every forward/backward
+	// intermediate is recycled after the optimizer step, and the gathered
+	// feature matrix is reused across mini-batches and epochs, so the
+	// steady-state training loop stops allocating.
+	ws := tensor.NewWorkspace()
+	mdl.SetWorkspace(ws)
+	var featBuf *tensor.Dense
+	var labelBuf []int32
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		batches := sample.EpochBatches(trainRng, ds.TrainIdx, cfg.BatchSize)
 		var timings []sim.BatchTiming
@@ -198,18 +220,20 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			perf.Iterations++
 
 			if !opts.SkipTraining {
-				feats := model.GatherFeatures(g, mb.InputNodes)
-				logits, err := mdl.Forward(mb, feats, true)
+				featBuf = model.GatherFeaturesInto(featBuf, g, mb.InputNodes)
+				logits, err := mdl.Forward(mb, featBuf, true)
 				if err != nil {
 					return nil, err
 				}
-				labels := make([]int32, len(mb.Targets))
+				labelBuf = tensor.Grow(labelBuf, len(mb.Targets))
+				labels := labelBuf
 				for i, v := range mb.Targets {
 					labels[i] = g.Labels[v]
 				}
-				_, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
+				_, dLogits := nn.SoftmaxCrossEntropyWS(ws, logits, labels)
 				mdl.Backward(dLogits)
 				opt.Step(mdl.Params())
+				ws.ReleaseAll()
 			}
 		}
 		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
@@ -371,7 +395,10 @@ func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int
 	}
 	smp := &sample.NodeWise{Fanouts: fanouts}
 	rng := rand.New(rand.NewSource(seed))
+	ws := mdl.Workspace()
 	var correct, total int
+	var featBuf *tensor.Dense
+	var labelBuf []int32
 	const evalBatch = 512
 	for start := 0; start < len(idx); start += evalBatch {
 		end := start + evalBatch
@@ -379,17 +406,19 @@ func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int
 			end = len(idx)
 		}
 		mb := smp.Sample(rng, g, idx[start:end])
-		feats := model.GatherFeatures(g, mb.InputNodes)
-		logits, err := mdl.Forward(mb, feats, false)
+		featBuf = model.GatherFeaturesInto(featBuf, g, mb.InputNodes)
+		logits, err := mdl.Forward(mb, featBuf, false)
 		if err != nil {
 			return 0, err
 		}
-		labels := make([]int32, len(mb.Targets))
+		labelBuf = tensor.Grow(labelBuf, len(mb.Targets))
+		labels := labelBuf
 		for i, v := range mb.Targets {
 			labels[i] = g.Labels[v]
 		}
 		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
 		total += len(labels)
+		ws.ReleaseAll()
 	}
 	return float64(correct) / float64(total), nil
 }

@@ -18,6 +18,12 @@ import (
 //	y_i     = Σ_j α_ij z_j
 //
 // Heads are concatenated; the per-head output dim is out/heads.
+//
+// Forward is sharded over destination-row ranges (each dst owns a
+// contiguous edge range, so scores, softmax and the weighted sum write
+// disjoint slices). Backward's edge scatter accumulates into shared
+// source rows, so it stays serial; its matmuls — which dominate — run on
+// the sharded kernels.
 type gatLayer struct {
 	heads   int
 	in, out int // out is the concatenated output dim
@@ -29,16 +35,23 @@ type gatLayer struct {
 	aDst []*nn.Param // [heads] 1×perHead
 	bias *nn.Param   // 1×out
 
+	ws *tensor.Workspace
+
 	// forward caches
 	blk   *sample.Block
 	h     *tensor.Dense
 	z     []*tensor.Dense // per head, src×perHead
 	alpha [][]float64     // per head, per edge (flattened like edge list incl. self)
 	pre   [][]float64     // pre-LeakyReLU scores per head/edge
-	// edge list with self loops: for dst i, edges cover [selfOff[i], selfOff[i+1])
+	// edge list with self loops: for dst i, edges cover [dstOff[i], dstOff[i+1])
 	edgeSrc []int32 // src position per edge
 	edgeDst []int32 // dst index per edge
 	dstOff  []int32 // per-dst edge range start; len = DstCount+1
+
+	// reusable scratch (cap-grown, never shrunk)
+	sSrc, sDst   []float64
+	dAlpha, dPre []float64
+	colSum       []float64
 }
 
 func newGATLayer(rng *rand.Rand, name string, in, out, heads int) (*gatLayer, error) {
@@ -58,15 +71,20 @@ func newGATLayer(rng *rand.Rand, name string, in, out, heads int) (*gatLayer, er
 		l.aDst = append(l.aDst, ad)
 	}
 	l.bias = nn.NewParam(name+".b", 1, out)
+	l.z = make([]*tensor.Dense, heads)
+	l.alpha = make([][]float64, heads)
+	l.pre = make([][]float64, heads)
 	return l, nil
 }
+
+func (l *gatLayer) setWorkspace(ws *tensor.Workspace) { l.ws = ws }
 
 // buildEdges materializes the attention edge list: sampled neighbors plus a
 // self edge per destination.
 func (l *gatLayer) buildEdges(blk *sample.Block) {
 	l.edgeSrc = l.edgeSrc[:0]
 	l.edgeDst = l.edgeDst[:0]
-	l.dstOff = make([]int32, blk.DstCount+1)
+	l.dstOff = tensor.Grow(l.dstOff, blk.DstCount+1)
 	for i := 0; i < blk.DstCount; i++ {
 		l.dstOff[i] = int32(len(l.edgeSrc))
 		l.edgeSrc = append(l.edgeSrc, int32(i)) // self
@@ -84,74 +102,87 @@ func (l *gatLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 	l.h = h
 	l.buildEdges(blk)
 	nEdges := len(l.edgeSrc)
-	out := tensor.New(blk.DstCount, l.out)
-	l.z = make([]*tensor.Dense, l.heads)
-	l.alpha = make([][]float64, l.heads)
-	l.pre = make([][]float64, l.heads)
+	out := l.ws.Get(blk.DstCount, l.out)
 
 	for hd := 0; hd < l.heads; hd++ {
-		z := tensor.MatMul(h, l.w[hd].Value)
+		z := l.ws.Get(h.Rows, l.perHead)
+		// Sparse-skip kernel: h is post-dropout (exact zeros at rate P
+		// during training), and the seed's MatMul skipped those terms.
+		tensor.MatMulSparseInto(z, h, l.w[hd].Value)
 		l.z[hd] = z
 		as, ad := l.aSrc[hd].Value.Data, l.aDst[hd].Value.Data
 		// Per-vertex score halves.
-		sSrc := make([]float64, z.Rows)
-		for r := 0; r < z.Rows; r++ {
-			row := z.Row(r)
-			var s float64
-			for j, a := range as {
-				s += a * row[j]
+		l.sSrc = tensor.Grow(l.sSrc, z.Rows)
+		sSrc := l.sSrc
+		tensor.ParallelRows(z.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := z.Row(r)
+				var s float64
+				for j, a := range as {
+					s += a * row[j]
+				}
+				sSrc[r] = s
 			}
-			sSrc[r] = s
-		}
-		sDst := make([]float64, blk.DstCount)
-		for r := 0; r < blk.DstCount; r++ {
-			row := z.Row(r)
-			var s float64
-			for j, a := range ad {
-				s += a * row[j]
+		})
+		l.sDst = tensor.Grow(l.sDst, blk.DstCount)
+		sDst := l.sDst
+		tensor.ParallelRows(blk.DstCount, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := z.Row(r)
+				var s float64
+				for j, a := range ad {
+					s += a * row[j]
+				}
+				sDst[r] = s
 			}
-			sDst[r] = s
-		}
-		pre := make([]float64, nEdges)
-		alpha := make([]float64, nEdges)
-		for e := 0; e < nEdges; e++ {
-			v := sSrc[l.edgeSrc[e]] + sDst[l.edgeDst[e]]
-			pre[e] = v
-			if v < 0 {
-				v *= l.slope
-			}
-			alpha[e] = v
-		}
-		// Per-dst softmax over the edge ranges.
-		for i := 0; i < blk.DstCount; i++ {
-			lo, hi := l.dstOff[i], l.dstOff[i+1]
-			max := math.Inf(-1)
-			for e := lo; e < hi; e++ {
-				if alpha[e] > max {
-					max = alpha[e]
+		})
+		l.pre[hd] = tensor.Grow(l.pre[hd], nEdges)
+		l.alpha[hd] = tensor.Grow(l.alpha[hd], nEdges)
+		pre, alpha := l.pre[hd], l.alpha[hd]
+		// Scores, per-dst softmax and the weighted sum shard over dst
+		// ranges: dst i owns edges [dstOff[i], dstOff[i+1]) and output
+		// row i, so shards never share writes.
+		base := hd * l.perHead
+		tensor.ParallelRows(blk.DstCount, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				eLo, eHi := int(l.dstOff[i]), int(l.dstOff[i+1])
+				for e := eLo; e < eHi; e++ {
+					v := sSrc[l.edgeSrc[e]] + sDst[l.edgeDst[e]]
+					pre[e] = v
+					if v < 0 {
+						v *= l.slope
+					}
+					alpha[e] = v
+				}
+				max := math.Inf(-1)
+				for e := eLo; e < eHi; e++ {
+					if alpha[e] > max {
+						max = alpha[e]
+					}
+				}
+				var sum float64
+				for e := eLo; e < eHi; e++ {
+					alpha[e] = math.Exp(alpha[e] - max)
+					sum += alpha[e]
+				}
+				for e := eLo; e < eHi; e++ {
+					alpha[e] /= sum
+				}
+				orow := out.Row(i)
+				if hd == 0 {
+					for j := range orow {
+						orow[j] = 0
+					}
+				}
+				for e := eLo; e < eHi; e++ {
+					zrow := z.Row(int(l.edgeSrc[e]))
+					a := alpha[e]
+					for j := 0; j < l.perHead; j++ {
+						orow[base+j] += a * zrow[j]
+					}
 				}
 			}
-			var sum float64
-			for e := lo; e < hi; e++ {
-				alpha[e] = math.Exp(alpha[e] - max)
-				sum += alpha[e]
-			}
-			for e := lo; e < hi; e++ {
-				alpha[e] /= sum
-			}
-		}
-		l.pre[hd] = pre
-		l.alpha[hd] = alpha
-		// Weighted sum into the head's output slice.
-		base := hd * l.perHead
-		for e := 0; e < nEdges; e++ {
-			zrow := z.Row(int(l.edgeSrc[e]))
-			orow := out.Row(int(l.edgeDst[e]))
-			a := alpha[e]
-			for j := 0; j < l.perHead; j++ {
-				orow[base+j] += a * zrow[j]
-			}
-		}
+		})
 	}
 	out.AddBias(l.bias.Value.Data)
 	return out
@@ -160,18 +191,24 @@ func (l *gatLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 func (l *gatLayer) Backward(dy *tensor.Dense) *tensor.Dense {
 	blk := l.blk
 	nEdges := len(l.edgeSrc)
-	for j, s := range dy.ColSums() {
+	l.colSum = tensor.Grow(l.colSum, dy.Cols)
+	dy.ColSumsInto(l.colSum)
+	for j, s := range l.colSum {
 		l.bias.Grad.Data[j] += s
 	}
-	dh := tensor.New(l.h.Rows, l.in)
+	dh := l.ws.GetZeroed(l.h.Rows, l.in)
+	dhHead := l.ws.Get(l.h.Rows, l.in)
+	dwScratch := l.ws.Get(l.in, l.perHead)
 	for hd := 0; hd < l.heads; hd++ {
 		z := l.z[hd]
 		alpha := l.alpha[hd]
 		pre := l.pre[hd]
 		base := hd * l.perHead
-		dz := tensor.New(z.Rows, l.perHead)
-		dAlpha := make([]float64, nEdges)
-		// dz from the weighted sum; dAlpha_e = dy_i · z_src.
+		dz := l.ws.GetZeroed(z.Rows, l.perHead)
+		l.dAlpha = tensor.Grow(l.dAlpha, nEdges)
+		dAlpha := l.dAlpha
+		// dz from the weighted sum; dAlpha_e = dy_i · z_src. Serial: many
+		// edges share a src row of dz.
 		for e := 0; e < nEdges; e++ {
 			src, dst := int(l.edgeSrc[e]), int(l.edgeDst[e])
 			zrow := z.Row(src)
@@ -186,23 +223,28 @@ func (l *gatLayer) Backward(dy *tensor.Dense) *tensor.Dense {
 			}
 			dAlpha[e] = da
 		}
-		// Softmax backward per dst: de = α (dα - Σ α dα).
-		dPre := make([]float64, nEdges)
-		for i := 0; i < blk.DstCount; i++ {
-			lo, hi := l.dstOff[i], l.dstOff[i+1]
-			var dot float64
-			for e := lo; e < hi; e++ {
-				dot += alpha[e] * dAlpha[e]
-			}
-			for e := lo; e < hi; e++ {
-				de := alpha[e] * (dAlpha[e] - dot)
-				if pre[e] < 0 {
-					de *= l.slope
+		// Softmax backward per dst: de = α (dα - Σ α dα). Dst ranges are
+		// disjoint, so this shards.
+		l.dPre = tensor.Grow(l.dPre, nEdges)
+		dPre := l.dPre
+		tensor.ParallelRows(blk.DstCount, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				eLo, eHi := int(l.dstOff[i]), int(l.dstOff[i+1])
+				var dot float64
+				for e := eLo; e < eHi; e++ {
+					dot += alpha[e] * dAlpha[e]
 				}
-				dPre[e] = de
+				for e := eLo; e < eHi; e++ {
+					de := alpha[e] * (dAlpha[e] - dot)
+					if pre[e] < 0 {
+						de *= l.slope
+					}
+					dPre[e] = de
+				}
 			}
-		}
-		// dPre flows to aSrc·z_src and aDst·z_dst.
+		})
+		// dPre flows to aSrc·z_src and aDst·z_dst. Serial: src rows of dz
+		// are shared across edges.
 		as, ad := l.aSrc[hd].Value.Data, l.aDst[hd].Value.Data
 		dAs, dAd := l.aSrc[hd].Grad.Data, l.aDst[hd].Grad.Data
 		for e := 0; e < nEdges; e++ {
@@ -219,12 +261,16 @@ func (l *gatLayer) Backward(dy *tensor.Dense) *tensor.Dense {
 				dzd[j] += g * ad[j]
 			}
 		}
-		// Through z = h·W.
-		dW := tensor.MatMulT1(l.h, dz)
-		l.w[hd].Grad.AddInPlace(dW)
-		dhHead := tensor.MatMulT2(dz, l.w[hd].Value)
+		// Through z = h·W. Sparse variant: h is post-dropout, matching
+		// the forward projection's kernel choice.
+		tensor.MatMulT1SparseInto(dwScratch, l.h, dz)
+		l.w[hd].Grad.AddInPlace(dwScratch)
+		tensor.MatMulT2Into(dhHead, dz, l.w[hd].Value)
 		dh.AddInPlace(dhHead)
+		l.ws.Put(dz)
 	}
+	l.ws.Put(dwScratch)
+	l.ws.Put(dhHead)
 	return dh
 }
 

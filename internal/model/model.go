@@ -3,6 +3,13 @@
 // sampled mini-batch blocks (Algo. 1 lines 4–9: Aggregate, Combine, Loss,
 // Backwards). Everything is pure Go on the tensor/nn substrate; the
 // "device" that executes it is modeled separately in internal/sim.
+//
+// A model may be attached to a tensor.Workspace (SetWorkspace), in which
+// case all forward/backward intermediates come from the arena and the
+// training loop owner recycles them once per iteration with
+// ws.ReleaseAll(). Aggregation loops are sharded over destination-row
+// ranges on the tensor worker pool; outputs are bitwise-identical at any
+// parallelism setting.
 package model
 
 import (
@@ -42,6 +49,7 @@ type convLayer interface {
 	Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense
 	Backward(dy *tensor.Dense) *tensor.Dense
 	Params() []*nn.Param
+	setWorkspace(ws *tensor.Workspace)
 	// FLOPs estimates the multiply-add count for a block with the given
 	// edge and vertex counts (the white-box compute model of Eq. 8).
 	FLOPs(srcCount, dstCount, edges int) float64
@@ -54,6 +62,7 @@ type Model struct {
 	acts     []nn.Activation
 	dropouts []*nn.Dropout
 	rng      *rand.Rand
+	ws       *tensor.Workspace
 
 	// cached per-forward state for backward
 	lastBatch *sample.MiniBatch
@@ -88,7 +97,15 @@ func New(cfg Config) (*Model, error) {
 		case GCN:
 			layer = newGCNLayer(rng, fmt.Sprintf("gcn%d", l), in, out)
 		case SAGE:
-			layer = newSAGELayer(rng, fmt.Sprintf("sage%d", l), in, out)
+			sl := newSAGELayer(rng, fmt.Sprintf("sage%d", l), in, out)
+			// The self path consumes the layer input directly — post-
+			// dropout at layer 0, post-ReLU+dropout on hidden layers —
+			// so exact zeros abound during training and the zero-skip
+			// matmul pays. The neighbor path consumes a mean aggregate
+			// (dense even when its rows are sparse) and keeps the
+			// branch-free kernel.
+			sl.self.SparseInput = true
+			layer = sl
 		case GAT:
 			heads := cfg.Heads
 			if last {
@@ -113,6 +130,27 @@ func New(cfg Config) (*Model, error) {
 	}
 	return m, nil
 }
+
+// SetWorkspace attaches ws to every layer, activation and dropout so the
+// whole forward/backward pass draws intermediates from the arena. The
+// caller owns the recycle point: call ws.ReleaseAll() only after the
+// iteration's outputs (logits, gradients) are no longer needed. A nil ws
+// restores plain allocation.
+func (m *Model) SetWorkspace(ws *tensor.Workspace) {
+	m.ws = ws
+	for _, l := range m.layers {
+		l.setWorkspace(ws)
+	}
+	for _, a := range m.acts {
+		a.SetWorkspace(ws)
+	}
+	for _, d := range m.dropouts {
+		d.WS = ws
+	}
+}
+
+// Workspace returns the attached arena (nil if none).
+func (m *Model) Workspace() *tensor.Workspace { return m.ws }
 
 // Cfg returns the model configuration.
 func (m *Model) Cfg() Config { return m.cfg }
@@ -185,73 +223,110 @@ func (m *Model) FLOPs(mb *sample.MiniBatch) float64 {
 // system this gather is the host-side feature lookup that precedes
 // transmission (Algo. 1 line 3).
 func GatherFeatures(g *graph.Graph, nodes []int32) *tensor.Dense {
-	out := tensor.New(len(nodes), g.FeatDim)
-	for i, v := range nodes {
-		row := out.Row(i)
-		for j, f := range g.Feature(v) {
-			row[j] = float64(f)
-		}
+	return GatherFeaturesInto(nil, g, nodes)
+}
+
+// GatherFeaturesInto is GatherFeatures reusing dst's storage when its
+// capacity suffices (pass the previous return value to amortize the
+// feature matrix across mini-batches and epochs). It returns the matrix
+// actually filled, sharded over rows.
+func GatherFeaturesInto(dst *tensor.Dense, g *graph.Graph, nodes []int32) *tensor.Dense {
+	n := len(nodes) * g.FeatDim
+	if dst == nil || cap(dst.Data) < n {
+		dst = tensor.New(len(nodes), g.FeatDim)
+	} else {
+		dst.Rows, dst.Cols = len(nodes), g.FeatDim
+		dst.Data = dst.Data[:n]
 	}
-	return out
+	tensor.ParallelRows(len(nodes), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dst.Row(i)
+			for j, f := range g.Feature(nodes[i]) {
+				row[j] = float64(f)
+			}
+		}
+	})
+	return dst
 }
 
 // --- shared mean aggregation --------------------------------------------
 
 // meanAggregate computes, for each dst, the mean of its sampled neighbor
 // rows (plus optionally the dst row itself). It returns the aggregate and
-// the per-dst divisor used (for backward).
-func meanAggregate(blk *sample.Block, h *tensor.Dense, includeSelf bool) (*tensor.Dense, []float64) {
-	agg := tensor.New(blk.DstCount, h.Cols)
-	div := make([]float64, blk.DstCount)
-	for i := 0; i < blk.DstCount; i++ {
-		row := agg.Row(i)
-		n := 0
-		if includeSelf {
-			src := h.Row(i) // dst i is src position i by the prefix invariant
+// the per-dst divisor used (for backward), both drawn from ws. The loop
+// is sharded over destination rows, which write disjoint output rows.
+func meanAggregate(ws *tensor.Workspace, blk *sample.Block, h *tensor.Dense, includeSelf bool) (*tensor.Dense, []float64) {
+	agg := ws.Get(blk.DstCount, h.Cols)
+	div := ws.Get(1, blk.DstCount).Data
+	tensor.ParallelRows(blk.DstCount, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := agg.Row(i)
 			for j := range row {
-				row[j] += src[j]
+				row[j] = 0
 			}
-			n++
-		}
-		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
-			src := h.Row(int(ix))
-			for j := range row {
-				row[j] += src[j]
+			n := 0
+			if includeSelf {
+				src := h.Row(i) // dst i is src position i by the prefix invariant
+				for j := range row {
+					row[j] += src[j]
+				}
+				n++
 			}
-			n++
-		}
-		if n > 0 {
-			inv := 1 / float64(n)
-			for j := range row {
-				row[j] *= inv
+			for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
+				src := h.Row(int(ix))
+				for j := range row {
+					row[j] += src[j]
+				}
+				n++
 			}
-			div[i] = float64(n)
-		} else {
-			div[i] = 1
+			if n > 0 {
+				inv := 1 / float64(n)
+				for j := range row {
+					row[j] *= inv
+				}
+				div[i] = float64(n)
+			} else {
+				div[i] = 1
+			}
 		}
-	}
+	})
 	return agg, div
 }
 
-// meanAggregateBackward scatters dAgg back to source rows.
-func meanAggregateBackward(blk *sample.Block, dAgg *tensor.Dense, div []float64, srcRows int, includeSelf bool) *tensor.Dense {
-	dh := tensor.New(srcRows, dAgg.Cols)
-	for i := 0; i < blk.DstCount; i++ {
-		inv := 1 / div[i]
-		drow := dAgg.Row(i)
-		if includeSelf {
-			dst := dh.Row(i)
-			for j := range dst {
-				dst[j] += drow[j] * inv
+// meanAggregateBackward scatters dAgg back to source rows. Source rows
+// are written by many destinations, so the parallel path shards over
+// source-row ranges: every shard scans the full edge list and applies
+// only the contributions landing in its range, preserving the serial
+// accumulation order per row (bitwise-identical to the serial pass).
+func meanAggregateBackward(ws *tensor.Workspace, blk *sample.Block, dAgg *tensor.Dense, div []float64, srcRows int, includeSelf bool) *tensor.Dense {
+	dh := ws.Get(srcRows, dAgg.Cols)
+	tensor.ParallelRows(srcRows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := dh.Row(r)
+			for j := range row {
+				row[j] = 0
 			}
 		}
-		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
-			dst := dh.Row(int(ix))
-			for j := range dst {
-				dst[j] += drow[j] * inv
+		for i := 0; i < blk.DstCount; i++ {
+			inv := 1 / div[i]
+			drow := dAgg.Row(i)
+			if includeSelf && i >= lo && i < hi {
+				dst := dh.Row(i)
+				for j := range dst {
+					dst[j] += drow[j] * inv
+				}
+			}
+			for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
+				if int(ix) < lo || int(ix) >= hi {
+					continue
+				}
+				dst := dh.Row(int(ix))
+				for j := range dst {
+					dst[j] += drow[j] * inv
+				}
 			}
 		}
-	}
+	})
 	return dh
 }
 
@@ -261,6 +336,7 @@ func meanAggregateBackward(blk *sample.Block, dAgg *tensor.Dense, div []float64,
 // analogue of Kipf–Welling propagation.
 type gcnLayer struct {
 	lin *nn.Linear
+	ws  *tensor.Workspace
 
 	blk     *sample.Block
 	div     []float64
@@ -271,17 +347,22 @@ func newGCNLayer(rng *rand.Rand, name string, in, out int) *gcnLayer {
 	return &gcnLayer{lin: nn.NewLinear(rng, name, in, out)}
 }
 
+func (l *gcnLayer) setWorkspace(ws *tensor.Workspace) {
+	l.ws = ws
+	l.lin.WS = ws
+}
+
 func (l *gcnLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 	l.blk = blk
 	l.srcRows = h.Rows
-	agg, div := meanAggregate(blk, h, true)
+	agg, div := meanAggregate(l.ws, blk, h, true)
 	l.div = div
 	return l.lin.Forward(agg)
 }
 
 func (l *gcnLayer) Backward(dy *tensor.Dense) *tensor.Dense {
 	dAgg := l.lin.Backward(dy)
-	return meanAggregateBackward(l.blk, dAgg, l.div, l.srcRows, true)
+	return meanAggregateBackward(l.ws, l.blk, dAgg, l.div, l.srcRows, true)
 }
 
 func (l *gcnLayer) Params() []*nn.Param { return l.lin.Params() }
@@ -300,10 +381,12 @@ func (l *gcnLayer) FLOPs(src, dst, edges int) float64 {
 type sageLayer struct {
 	self *nn.Linear
 	nb   *nn.Linear
+	ws   *tensor.Workspace
 
 	blk     *sample.Block
 	div     []float64
 	srcRows int
+	hdrDst  tensor.Dense // reusable header aliasing the dst prefix of h
 }
 
 func newSAGELayer(rng *rand.Rand, name string, in, out int) *sageLayer {
@@ -313,13 +396,19 @@ func newSAGELayer(rng *rand.Rand, name string, in, out int) *sageLayer {
 	}
 }
 
+func (l *sageLayer) setWorkspace(ws *tensor.Workspace) {
+	l.ws = ws
+	l.self.WS = ws
+	l.nb.WS = ws
+}
+
 func (l *sageLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 	l.blk = blk
 	l.srcRows = h.Rows
-	// Self path: dst rows are the src prefix.
-	hDst := tensor.FromSlice(blk.DstCount, h.Cols, h.Data[:blk.DstCount*h.Cols])
-	ySelf := l.self.Forward(hDst)
-	agg, div := meanAggregate(blk, h, false)
+	// Self path: dst rows are the src prefix (aliased, not copied).
+	l.hdrDst = tensor.Dense{Rows: blk.DstCount, Cols: h.Cols, Data: h.Data[:blk.DstCount*h.Cols]}
+	ySelf := l.self.Forward(&l.hdrDst)
+	agg, div := meanAggregate(l.ws, blk, h, false)
 	l.div = div
 	yNb := l.nb.Forward(agg)
 	ySelf.AddInPlace(yNb)
@@ -328,16 +417,18 @@ func (l *sageLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 
 func (l *sageLayer) Backward(dy *tensor.Dense) *tensor.Dense {
 	dAgg := l.nb.Backward(dy)
-	dh := meanAggregateBackward(l.blk, dAgg, l.div, l.srcRows, false)
+	dh := meanAggregateBackward(l.ws, l.blk, dAgg, l.div, l.srcRows, false)
 	dDst := l.self.Backward(dy)
-	// Scatter the self-path gradient into the dst prefix.
-	for i := 0; i < l.blk.DstCount; i++ {
-		row := dh.Row(i)
-		srow := dDst.Row(i)
-		for j := range row {
-			row[j] += srow[j]
+	// Scatter the self-path gradient into the dst prefix (disjoint rows).
+	tensor.ParallelRows(l.blk.DstCount, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dh.Row(i)
+			srow := dDst.Row(i)
+			for j := range row {
+				row[j] += srow[j]
+			}
 		}
-	}
+	})
 	return dh
 }
 

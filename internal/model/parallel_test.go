@@ -1,0 +1,195 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// Batch and model dims for the equivalence tests: large enough that the
+// sharded loops actually dispatch to the worker pool (row loops need
+// >= 16 rows, elementwise loops >= 8192 elements) instead of silently
+// taking the inline serial path.
+const (
+	eqSrc0 = 1400 // layer-0 sources (input rows)
+	eqDst0 = 600  // layer-0 destinations == layer-1 sources
+	eqDst1 = 200  // layer-1 destinations (targets)
+	eqIn   = 32
+	eqHid  = 64
+	eqOut  = 8
+)
+
+// bigBatch builds a random two-layer mini-batch big enough to cross
+// every parallel dispatch threshold (see eq* consts).
+func bigBatch(rng *rand.Rand) *sample.MiniBatch {
+	nodes := make([]int32, eqSrc0)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	mkBlock := func(src []int32, dstCount, maxFan int) sample.Block {
+		offsets := make([]int32, dstCount+1)
+		var indices []int32
+		for i := 0; i < dstCount; i++ {
+			offsets[i] = int32(len(indices))
+			for f := rng.Intn(maxFan + 1); f > 0; f-- {
+				indices = append(indices, int32(rng.Intn(len(src))))
+			}
+		}
+		offsets[dstCount] = int32(len(indices))
+		return sample.Block{SrcNodes: src, DstCount: dstCount, Offsets: offsets, Indices: indices}
+	}
+	b0 := mkBlock(nodes, eqDst0, 8)
+	b1 := mkBlock(nodes[:eqDst0], eqDst1, 8)
+	mb := &sample.MiniBatch{
+		Blocks:      []sample.Block{b0, b1},
+		Targets:     nodes[:eqDst1],
+		InputNodes:  nodes,
+		NumVertices: eqSrc0,
+		NumEdges:    b0.NumEdges() + b1.NumEdges(),
+	}
+	return mb
+}
+
+// runOnce builds a fresh model, runs forward + backward on a large
+// batch, and returns logits, input grads, and a parameter-grad snapshot.
+func runOnce(t *testing.T, kind Kind, heads int, ws *tensor.Workspace) (*tensor.Dense, *tensor.Dense, []*tensor.Dense) {
+	t.Helper()
+	m, err := New(Config{
+		Kind: kind, InDim: eqIn, Hidden: eqHid, OutDim: eqOut, Layers: 2,
+		Heads: heads, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWorkspace(ws)
+	mb := bigBatch(rand.New(rand.NewSource(11)))
+	if err := mb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	feats := randFeats(rand.New(rand.NewSource(3)), eqSrc0, eqIn)
+	logits, err := m.Forward(mb, feats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLogits := randFeats(rand.New(rand.NewSource(4)), logits.Rows, logits.Cols)
+	dIn := m.Backward(dLogits)
+	var grads []*tensor.Dense
+	for _, p := range m.Params() {
+		grads = append(grads, p.Grad.Clone())
+	}
+	return logits.Clone(), dIn.Clone(), grads
+}
+
+// TestParallelModelBitwiseEqualSerial demands that a full forward +
+// backward pass over every architecture is bit-identical between the
+// serial path, the 4-worker path, and the workspace-backed path.
+func TestParallelModelBitwiseEqualSerial(t *testing.T) {
+	prev := tensor.Parallelism()
+	t.Cleanup(func() { tensor.SetParallelism(prev) })
+	for _, kind := range []Kind{GCN, SAGE, GAT} {
+		tensor.SetParallelism(1)
+		wantLogits, wantDIn, wantGrads := runOnce(t, kind, 2, nil)
+
+		check := func(label string, logits, dIn *tensor.Dense, grads []*tensor.Dense) {
+			t.Helper()
+			for i, w := range wantLogits.Data {
+				if logits.Data[i] != w {
+					t.Fatalf("%s/%s: logits[%d] = %v, want %v (bitwise)", kind, label, i, logits.Data[i], w)
+				}
+			}
+			for i, w := range wantDIn.Data {
+				if dIn.Data[i] != w {
+					t.Fatalf("%s/%s: dIn[%d] = %v, want %v (bitwise)", kind, label, i, dIn.Data[i], w)
+				}
+			}
+			for p := range wantGrads {
+				for i, w := range wantGrads[p].Data {
+					if grads[p].Data[i] != w {
+						t.Fatalf("%s/%s: grad[%d][%d] = %v, want %v (bitwise)", kind, label, p, i, grads[p].Data[i], w)
+					}
+				}
+			}
+		}
+
+		tensor.SetParallelism(4)
+		logits, dIn, grads := runOnce(t, kind, 2, nil)
+		check("parallel", logits, dIn, grads)
+
+		logits, dIn, grads = runOnce(t, kind, 2, tensor.NewWorkspace())
+		check("parallel+ws", logits, dIn, grads)
+	}
+}
+
+// TestWorkspaceIterationsStayClean runs several train-style iterations on
+// one model with ReleaseAll between them (the backend's lifecycle) and
+// checks the results match a workspace-free model fed the same inputs —
+// i.e. recycled buffers never leak state across iterations.
+func TestWorkspaceIterationsStayClean(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE, GAT} {
+		ws := tensor.NewWorkspace()
+		mWS := buildModel(t, kind, 2)
+		mWS.SetWorkspace(ws)
+		mRef := buildModel(t, kind, 2)
+		optWS := nn.NewAdam(0.01)
+		optRef := nn.NewAdam(0.01)
+		for iter := 0; iter < 3; iter++ {
+			rng := rand.New(rand.NewSource(int64(10 + iter)))
+			feats := randFeats(rng, 6, 5)
+			labels := []int32{int32(iter % 3), int32((iter + 1) % 3)}
+
+			logitsWS, err := mWS.Forward(tinyBatch(), feats.Clone(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lossWS, dWS := nn.SoftmaxCrossEntropyWS(ws, logitsWS, labels)
+			mWS.Backward(dWS)
+			optWS.Step(mWS.Params())
+			ws.ReleaseAll()
+
+			logitsRef, err := mRef.Forward(tinyBatch(), feats.Clone(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lossRef, dRef := nn.SoftmaxCrossEntropy(logitsRef, labels)
+			mRef.Backward(dRef)
+			optRef.Step(mRef.Params())
+
+			if lossWS != lossRef {
+				t.Fatalf("%s iter %d: loss %v != %v", kind, iter, lossWS, lossRef)
+			}
+		}
+		pWS, pRef := mWS.Params(), mRef.Params()
+		for i := range pWS {
+			for j, w := range pRef[i].Value.Data {
+				if pWS[i].Value.Data[j] != w {
+					t.Fatalf("%s: param %s[%d] = %v, want %v after 3 iters", kind, pWS[i].Name, j, pWS[i].Value.Data[j], w)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherFeaturesIntoReusesBuffer(t *testing.T) {
+	d := dataset.MustLoad(dataset.OgbnArxiv)
+	g := d.Graph
+	nodes := d.TrainIdx[:64]
+	a := GatherFeaturesInto(nil, g, nodes)
+	ref := GatherFeatures(g, nodes)
+	for i, w := range ref.Data {
+		if a.Data[i] != w {
+			t.Fatalf("GatherFeaturesInto[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+	// Smaller regather must reuse the same backing array.
+	b := GatherFeaturesInto(a, g, nodes[:16])
+	if &b.Data[0] != &a.Data[0] {
+		t.Error("GatherFeaturesInto did not reuse storage for a smaller batch")
+	}
+	if b.Rows != 16 {
+		t.Fatalf("rows = %d, want 16", b.Rows)
+	}
+}

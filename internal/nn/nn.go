@@ -2,6 +2,14 @@
 // GNN trainer: parameterized linear layers, activations with exact
 // backward passes, dropout, the softmax cross-entropy loss, and the SGD
 // and Adam optimizers.
+//
+// Every layer optionally carries a *tensor.Workspace (the WS field, nil
+// by default). With a workspace attached, forward/backward passes draw
+// their outputs and scratch from the arena instead of allocating, so a
+// steady-state training iteration is allocation-free; the owner of the
+// training loop calls ws.ReleaseAll() once per iteration. With WS nil
+// every layer behaves exactly as before (fresh allocations), which keeps
+// standalone use and old call sites working unchanged.
 package nn
 
 import (
@@ -38,8 +46,20 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // Linear is a fully connected layer Y = X·W + b.
 type Linear struct {
 	W, B *Param
+	// WS, when non-nil, supplies output and scratch buffers.
+	WS *tensor.Workspace
+	// SparseInput selects the zero-skip matmuls (forward X·W and the
+	// backward dW = Xᵀ·dY, both of which stream X).
+	// Set it only when the layer's input provably carries exact zeros —
+	// a post-ReLU/dropout activation fed directly (e.g. GraphSAGE's
+	// self path on hidden layers). Means of several sparse rows are
+	// dense (all contributors must be zero at a coordinate), so
+	// aggregate-fed layers keep the default branch-free kernel.
+	SparseInput bool
 	// x caches the forward input for the backward pass.
 	x *tensor.Dense
+	// colSum is reusable scratch for the bias gradient.
+	colSum []float64
 }
 
 // NewLinear constructs a Glorot-initialized linear layer.
@@ -55,7 +75,12 @@ func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
 // Forward computes X·W + b and caches X.
 func (l *Linear) Forward(x *tensor.Dense) *tensor.Dense {
 	l.x = x
-	y := tensor.MatMul(x, l.W.Value)
+	y := l.WS.Get(x.Rows, l.W.Value.Cols)
+	if l.SparseInput {
+		tensor.MatMulSparseInto(y, x, l.W.Value)
+	} else {
+		tensor.MatMulInto(y, x, l.W.Value)
+	}
 	y.AddBias(l.B.Value.Data)
 	return y
 }
@@ -65,12 +90,23 @@ func (l *Linear) Backward(dy *tensor.Dense) *tensor.Dense {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	dw := tensor.MatMulT1(l.x, dy)
+	dw := l.WS.Get(l.W.Value.Rows, l.W.Value.Cols)
+	if l.SparseInput {
+		tensor.MatMulT1SparseInto(dw, l.x, dy)
+	} else {
+		tensor.MatMulT1Into(dw, l.x, dy)
+	}
 	l.W.Grad.AddInPlace(dw)
-	for j, s := range dy.ColSums() {
+	l.WS.Put(dw)
+	l.colSum = tensor.Grow(l.colSum, dy.Cols)
+	cs := l.colSum
+	dy.ColSumsInto(cs)
+	for j, s := range cs {
 		l.B.Grad.Data[j] += s
 	}
-	return tensor.MatMulT2(dy, l.W.Value)
+	dx := l.WS.Get(dy.Rows, l.W.Value.Rows)
+	tensor.MatMulT2Into(dx, dy, l.W.Value)
+	return dx
 }
 
 // Params returns the layer's trainable parameters.
@@ -83,107 +119,171 @@ type Activation interface {
 	Forward(x *tensor.Dense) *tensor.Dense
 	// Backward maps upstream gradients through the nonlinearity.
 	Backward(dy *tensor.Dense) *tensor.Dense
+	// SetWorkspace attaches (or detaches, with nil) the buffer arena.
+	// Part of the interface so new activations cannot silently miss the
+	// zero-alloc wiring.
+	SetWorkspace(ws *tensor.Workspace)
 	Name() string
 }
 
 // ReLU is max(0, x).
-type ReLU struct{ mask []bool }
+type ReLU struct {
+	WS   *tensor.Workspace
+	mask []bool
+}
 
 // Name implements Activation.
 func (r *ReLU) Name() string { return "relu" }
 
+// SetWorkspace implements Activation.
+func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.WS = ws }
+
 // Forward implements Activation.
 func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
-	out := x.Clone()
-	r.mask = make([]bool, len(x.Data))
-	for i, v := range x.Data {
-		if v > 0 {
-			r.mask[i] = true
-		} else {
-			out.Data[i] = 0
+	out := r.WS.Get(x.Rows, x.Cols)
+	r.mask = tensor.Grow(r.mask, len(x.Data))
+	mask := r.mask
+	tensor.ParallelRange(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.Data[i]
+			if v > 0 {
+				mask[i] = true
+				out.Data[i] = v
+			} else {
+				mask[i] = false
+				out.Data[i] = 0
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Activation.
 func (r *ReLU) Backward(dy *tensor.Dense) *tensor.Dense {
-	out := dy.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	out := r.WS.Get(dy.Rows, dy.Cols)
+	mask := r.mask
+	tensor.ParallelRange(len(dy.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				out.Data[i] = dy.Data[i]
+			} else {
+				out.Data[i] = 0
+			}
 		}
-	}
+	})
 	return out
 }
 
 // ELU is x for x>0, alpha*(e^x - 1) otherwise.
 type ELU struct {
 	Alpha float64
-	x     *tensor.Dense
+	WS    *tensor.Workspace
+	// With a workspace attached, x aliases the forward input, which
+	// stays valid through backward because workspace buffers are only
+	// recycled at iteration end. Without one, x is a private clone so
+	// standalone callers may mutate their input between passes (the
+	// seed behavior).
+	x *tensor.Dense
 }
 
 // Name implements Activation.
 func (e *ELU) Name() string { return "elu" }
+
+// SetWorkspace implements Activation.
+func (e *ELU) SetWorkspace(ws *tensor.Workspace) { e.WS = ws }
 
 // Forward implements Activation.
 func (e *ELU) Forward(x *tensor.Dense) *tensor.Dense {
 	if e.Alpha == 0 {
 		e.Alpha = 1
 	}
-	e.x = x.Clone()
-	out := x.Clone()
-	for i, v := range out.Data {
-		if v <= 0 {
-			out.Data[i] = e.Alpha * (math.Exp(v) - 1)
-		}
+	if e.WS == nil {
+		e.x = x.Clone()
+	} else {
+		e.x = x
 	}
+	out := e.WS.Get(x.Rows, x.Cols)
+	alpha := e.Alpha
+	tensor.ParallelRange(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.Data[i]
+			if v <= 0 {
+				v = alpha * (math.Exp(v) - 1)
+			}
+			out.Data[i] = v
+		}
+	})
 	return out
 }
 
 // Backward implements Activation.
 func (e *ELU) Backward(dy *tensor.Dense) *tensor.Dense {
-	out := dy.Clone()
-	for i, v := range e.x.Data {
-		if v <= 0 {
-			out.Data[i] *= e.Alpha * math.Exp(v)
+	out := e.WS.Get(dy.Rows, dy.Cols)
+	alpha := e.Alpha
+	x := e.x
+	tensor.ParallelRange(len(dy.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dy.Data[i]
+			if v := x.Data[i]; v <= 0 {
+				g *= alpha * math.Exp(v)
+			}
+			out.Data[i] = g
 		}
-	}
+	})
 	return out
 }
 
 // LeakyReLU is x for x>0, slope*x otherwise (used by GAT attention).
 type LeakyReLU struct {
 	Slope float64
+	WS    *tensor.Workspace
 	x     *tensor.Dense
 }
 
 // Name implements Activation.
 func (l *LeakyReLU) Name() string { return "leaky_relu" }
 
+// SetWorkspace implements Activation.
+func (l *LeakyReLU) SetWorkspace(ws *tensor.Workspace) { l.WS = ws }
+
 // Forward implements Activation.
 func (l *LeakyReLU) Forward(x *tensor.Dense) *tensor.Dense {
 	if l.Slope == 0 {
 		l.Slope = 0.2
 	}
-	l.x = x.Clone()
-	out := x.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = l.Slope * v
-		}
+	if l.WS == nil {
+		l.x = x.Clone() // see ELU.x: preserve seed aliasing semantics
+	} else {
+		l.x = x
 	}
+	out := l.WS.Get(x.Rows, x.Cols)
+	slope := l.Slope
+	tensor.ParallelRange(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.Data[i]
+			if v < 0 {
+				v = slope * v
+			}
+			out.Data[i] = v
+		}
+	})
 	return out
 }
 
 // Backward implements Activation.
 func (l *LeakyReLU) Backward(dy *tensor.Dense) *tensor.Dense {
-	out := dy.Clone()
-	for i, v := range l.x.Data {
-		if v < 0 {
-			out.Data[i] *= l.Slope
+	out := l.WS.Get(dy.Rows, dy.Cols)
+	slope := l.Slope
+	x := l.x
+	tensor.ParallelRange(len(dy.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dy.Data[i]
+			if x.Data[i] < 0 {
+				g *= slope
+			}
+			out.Data[i] = g
 		}
-	}
+	})
 	return out
 }
 
@@ -192,22 +292,27 @@ func (l *LeakyReLU) Backward(dy *tensor.Dense) *tensor.Dense {
 type Dropout struct {
 	P    float64
 	Rng  *rand.Rand
+	WS   *tensor.Workspace
 	mask []float64
+	on   bool
 }
 
-// Forward applies dropout when train is true; identity otherwise.
+// Forward applies dropout when train is true; identity otherwise. The
+// mask draw stays serial so the rng sequence is independent of the
+// parallelism setting.
 func (d *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	if !train || d.P <= 0 {
-		d.mask = nil
+		d.on = false
 		return x
 	}
 	keep := 1 - d.P
-	out := x.Clone()
-	d.mask = make([]float64, len(x.Data))
-	for i := range out.Data {
+	out := d.WS.Get(x.Rows, x.Cols)
+	d.mask = tensor.Grow(d.mask, len(x.Data))
+	d.on = true
+	for i, v := range x.Data {
 		if d.Rng.Float64() < keep {
 			d.mask[i] = 1 / keep
-			out.Data[i] *= d.mask[i]
+			out.Data[i] = v * d.mask[i]
 		} else {
 			d.mask[i] = 0
 			out.Data[i] = 0
@@ -218,13 +323,16 @@ func (d *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 
 // Backward maps gradients through the dropout mask.
 func (d *Dropout) Backward(dy *tensor.Dense) *tensor.Dense {
-	if d.mask == nil {
+	if !d.on {
 		return dy
 	}
-	out := dy.Clone()
-	for i := range out.Data {
-		out.Data[i] *= d.mask[i]
-	}
+	out := d.WS.Get(dy.Rows, dy.Cols)
+	mask := d.mask
+	tensor.ParallelRange(len(dy.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = dy.Data[i] * mask[i]
+		}
+	})
 	return out
 }
 
@@ -232,18 +340,25 @@ func (d *Dropout) Backward(dy *tensor.Dense) *tensor.Dense {
 // against integer labels, returning the loss and dLogits (already averaged
 // over the batch).
 func SoftmaxCrossEntropy(logits *tensor.Dense, labels []int32) (float64, *tensor.Dense) {
+	return SoftmaxCrossEntropyWS(nil, logits, labels)
+}
+
+// SoftmaxCrossEntropyWS is SoftmaxCrossEntropy drawing the gradient
+// buffer from ws (nil ws allocates). The returned gradient doubles as the
+// probability scratch, so the whole loss costs one workspace buffer.
+func SoftmaxCrossEntropyWS(ws *tensor.Workspace, logits *tensor.Dense, labels []int32) (float64, *tensor.Dense) {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: logits rows %d != labels %d", logits.Rows, len(labels)))
 	}
-	probs := logits.Clone()
-	probs.SoftmaxRows()
+	grad := ws.Get(logits.Rows, logits.Cols)
+	logits.CopyInto(grad)
+	grad.SoftmaxRows()
 	n := float64(logits.Rows)
 	var loss float64
-	grad := probs.Clone()
 	for i, y := range labels {
-		p := probs.At(i, int(y))
+		p := grad.At(i, int(y))
 		loss -= math.Log(math.Max(p, 1e-12))
-		grad.Set(i, int(y), grad.At(i, int(y))-1)
+		grad.Set(i, int(y), p-1)
 	}
 	grad.ScaleInPlace(1 / n)
 	return loss / n, grad
@@ -278,10 +393,13 @@ type SGD struct {
 // Step implements Optimizer.
 func (o *SGD) Step(params []*Param) {
 	for _, p := range params {
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
-			p.Value.Data[i] -= o.LR * g
-		}
+		val, grad := p.Value.Data, p.Grad.Data
+		tensor.ParallelRange(len(val), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := grad[i] + o.WeightDecay*val[i]
+				val[i] -= o.LR * g
+			}
+		})
 		p.ZeroGrad()
 	}
 }
@@ -318,14 +436,17 @@ func (o *Adam) Step(params []*Param) {
 			o.v[p] = make([]float64, len(p.Value.Data))
 		}
 		v := o.v[p]
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i] + o.WeightDecay*p.Value.Data[i]
-			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
-			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
-			mhat := m[i] / bc1
-			vhat := v[i] / bc2
-			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
-		}
+		val, grad := p.Value.Data, p.Grad.Data
+		tensor.ParallelRange(len(val), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := grad[i] + o.WeightDecay*val[i]
+				m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+				v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+				mhat := m[i] / bc1
+				vhat := v[i] / bc2
+				val[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+			}
+		})
 		p.ZeroGrad()
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"gnnavigator/internal/graph"
+	"gnnavigator/internal/tensor"
 )
 
 // Block is one layer of message flow in a sampled mini-batch.
@@ -115,10 +116,15 @@ type BiasFunc func(v int32) float64
 // targets (hop 0 feeds the last GNN layer). A non-nil Bias skews neighbor
 // choice, with BiasStrength in [0,1] interpolating between uniform (0) and
 // fully bias-driven (1) selection — this realizes the paper's p(η).
+//
+// The sampler owns reusable neighbor-selection scratch, so a NodeWise
+// value must not be shared across concurrent Sample calls.
 type NodeWise struct {
 	Fanouts      []int
 	Bias         BiasFunc
 	BiasStrength float64
+
+	scratch pickScratch
 }
 
 // Name implements Sampler.
@@ -134,7 +140,7 @@ func (s *NodeWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *Mini
 	dst := dedup(targets)
 	var totalEdges int
 	for h := 0; h < L; h++ {
-		blk := expand(rng, g, dst, s.Fanouts[h], s.Bias, s.BiasStrength)
+		blk := expand(rng, g, dst, s.Fanouts[h], s.Bias, s.BiasStrength, &s.scratch)
 		blocks[L-1-h] = blk
 		totalEdges += blk.NumEdges()
 		dst = blk.SrcNodes
@@ -150,7 +156,7 @@ func (s *NodeWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *Mini
 }
 
 // expand builds one block: every dst samples up to fanout neighbors.
-func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFunc, biasStrength float64) Block {
+func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFunc, biasStrength float64, sc *pickScratch) Block {
 	srcPos := make(map[int32]int32, len(dst)*2)
 	src := make([]int32, len(dst))
 	copy(src, dst)
@@ -165,7 +171,7 @@ func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFu
 		if len(ns) == 0 {
 			continue
 		}
-		picks := pickNeighbors(rng, ns, fanout, bias, biasStrength)
+		picks := sc.pickNeighbors(rng, ns, fanout, bias, biasStrength)
 		for _, u := range picks {
 			pos, ok := srcPos[u]
 			if !ok {
@@ -180,17 +186,35 @@ func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFu
 	return Block{SrcNodes: src, DstCount: len(dst), Offsets: offsets, Indices: indices}
 }
 
+// pickScratch holds the reusable buffers neighbor selection needs, so
+// the per-destination hot path allocates nothing after warm-up. The
+// returned slices alias the scratch: callers must consume a pick before
+// requesting the next one.
+type pickScratch struct {
+	tmp     []int32
+	weights []float64
+	taken   []bool
+	out     []int32
+}
+
 // pickNeighbors selects up to fanout neighbors without replacement. With a
 // bias, selection is a weighted draw where weight(u) = 1 + strength*bias(u).
-func pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, strength float64) []int32 {
+// The rng consumption is identical to the pre-scratch implementation, so
+// draws (and thus batches) are unchanged for a fixed seed.
+func (sc *pickScratch) pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, strength float64) []int32 {
 	if fanout <= 0 || fanout >= len(ns) {
-		out := make([]int32, len(ns))
-		copy(out, ns)
-		return out
+		// Taking the whole neighborhood: copy into scratch (not an
+		// allocation after warm-up) rather than handing out the graph's
+		// own CSR slice, which a mutating caller could corrupt for the
+		// process-cached dataset.
+		sc.tmp = tensor.Grow(sc.tmp, len(ns))
+		copy(sc.tmp, ns)
+		return sc.tmp
 	}
 	if bias == nil || strength <= 0 {
-		// Partial Fisher-Yates over a copy.
-		tmp := make([]int32, len(ns))
+		// Partial Fisher-Yates over a scratch copy.
+		sc.tmp = tensor.Grow(sc.tmp, len(ns))
+		tmp := sc.tmp
 		copy(tmp, ns)
 		for i := 0; i < fanout; i++ {
 			j := i + rng.Intn(len(tmp)-i)
@@ -199,7 +223,10 @@ func pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, streng
 		return tmp[:fanout]
 	}
 	// Weighted sampling without replacement via repeated draws.
-	weights := make([]float64, len(ns))
+	sc.weights = tensor.Grow(sc.weights, len(ns))
+	sc.taken = tensor.Grow(sc.taken, len(ns))
+	weights := sc.weights
+	taken := sc.taken
 	var total float64
 	for i, u := range ns {
 		w := 1 + strength*bias(u)
@@ -207,10 +234,10 @@ func pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, streng
 			w = 0
 		}
 		weights[i] = w
+		taken[i] = false
 		total += w
 	}
-	out := make([]int32, 0, fanout)
-	taken := make([]bool, len(ns))
+	out := tensor.Grow(sc.out, fanout)[:0]
 	for len(out) < fanout && total > 1e-12 {
 		r := rng.Float64() * total
 		var acc float64
@@ -227,6 +254,7 @@ func pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, streng
 			}
 		}
 	}
+	sc.out = out[:0]
 	return out
 }
 

@@ -267,8 +267,9 @@ func TestMinibatchSizeBoundProperty(t *testing.T) {
 func TestPickNeighborsWithoutReplacement(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	ns := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	var sc pickScratch
 	for trial := 0; trial < 20; trial++ {
-		picks := pickNeighbors(rng, ns, 4, nil, 0)
+		picks := sc.pickNeighbors(rng, ns, 4, nil, 0)
 		if len(picks) != 4 {
 			t.Fatalf("picked %d, want 4", len(picks))
 		}
@@ -283,7 +284,7 @@ func TestPickNeighborsWithoutReplacement(t *testing.T) {
 	// Biased variant also without replacement.
 	bias := func(v int32) float64 { return float64(v) }
 	for trial := 0; trial < 20; trial++ {
-		picks := pickNeighbors(rng, ns, 5, bias, 1)
+		picks := sc.pickNeighbors(rng, ns, 5, bias, 1)
 		seen := map[int32]bool{}
 		for _, p := range picks {
 			if seen[p] {

@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers never block waiting for other shards: a dispatcher that has
+// finished its own shard drains further jobs from the queue while its
+// batch is outstanding (helping / work-stealing wait). That makes
+// nested dispatch — a kernel or ParallelRange call issued from inside a
+// worker callback — safe by construction instead of a deadlock on the
+// fixed-size pool.
+
+// The package-level worker pool that backs every sharded kernel. Workers
+// are started lazily on first parallel call and live for the process
+// lifetime; parallelFor feeds them contiguous index shards. All sharding
+// is over disjoint output ranges with a fixed per-element accumulation
+// order, so results are bitwise-identical at every parallelism level
+// (including the serial n<=1 path).
+
+// maxWorkers bounds the pool; parallelism requests above it are clamped.
+const maxWorkers = 64
+
+var (
+	parallelism atomic.Int32
+
+	poolMu  sync.Mutex
+	jobs    chan job
+	workers int
+)
+
+type job struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	// pending counts the batch's outstanding shards; the last decrement
+	// closes done, releasing the dispatcher's parked wait.
+	pending *atomic.Int64
+	done    chan struct{}
+}
+
+func runJob(j job) {
+	j.fn(j.lo, j.hi)
+	if j.pending.Add(-1) == 0 {
+		close(j.done)
+	}
+}
+
+func init() { parallelism.Store(int32(defaultParallelism())) }
+
+func defaultParallelism() int {
+	if s := os.Getenv("GNNAV_PROCS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			if n > maxWorkers {
+				n = maxWorkers
+			}
+			return n
+		}
+	}
+	if n := runtime.GOMAXPROCS(0); n <= maxWorkers {
+		return n
+	}
+	return maxWorkers
+}
+
+// SetParallelism sets the worker count used by sharded kernels. n <= 1
+// selects the serial path (no goroutines touched), which is also the
+// deterministic reference the equivalence tests compare against. The
+// default is GOMAXPROCS, overridable with the GNNAV_PROCS environment
+// variable.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// ensureWorkers grows the pool to at least n resident workers.
+func ensureWorkers(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if jobs == nil {
+		jobs = make(chan job, 4*maxWorkers)
+	}
+	for workers < n {
+		workers++
+		go func() {
+			for j := range jobs {
+				runJob(j)
+			}
+		}()
+	}
+}
+
+// ParallelRange shards an elementwise loop over [0, n) across the worker
+// pool. Exported for sibling packages (nn, model) whose hot loops shard
+// the same way the kernels here do: disjoint ranges, deterministic
+// per-element work, so results are independent of the worker count.
+func ParallelRange(n int, fn func(lo, hi int)) { parallelFor(n, flatGrain, fn) }
+
+// ParallelRows is ParallelRange with a row-level grain, for loops whose
+// body processes a whole matrix row (or similarly sized unit) per index.
+func ParallelRows(n int, fn func(lo, hi int)) { parallelFor(n, rowGrain, fn) }
+
+// parallelFor runs fn over [0, n) split into contiguous shards, one per
+// worker, executing shard 0 on the calling goroutine. grain is the
+// minimum iteration count per shard worth dispatching; below 2*grain the
+// loop runs inline. fn must be safe for concurrent disjoint ranges.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	p := Parallelism()
+	if grain < 1 {
+		grain = 1
+	}
+	if p <= 1 || n < 2*grain {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	shards := p
+	if max := n / grain; shards > max {
+		shards = max
+	}
+	if shards < 2 {
+		fn(0, n)
+		return
+	}
+	ensureWorkers(shards - 1)
+	chunk := (n + shards - 1) / shards
+	// Count the dispatched shards up front: incrementing pending per
+	// shard would let the counter transiently reach zero (closing done
+	// early, then double-closing) whenever an early shard finishes
+	// before the next one is queued. Shards with lo >= n are an empty
+	// suffix, so the dispatched ones are exactly s = 1..njobs.
+	njobs := 0
+	for s := 1; s < shards; s++ {
+		if s*chunk < n {
+			njobs++
+		}
+	}
+	if njobs == 0 {
+		fn(0, n)
+		return
+	}
+	var pending atomic.Int64
+	pending.Store(int64(njobs))
+	done := make(chan struct{})
+	for s := 1; s <= njobs; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		j := job{fn: fn, lo: lo, hi: hi, pending: &pending, done: done}
+		select {
+		case jobs <- j:
+		default:
+			// Queue full (deep nesting or many sibling dispatchers):
+			// run inline rather than blocking the send, which could
+			// leave no goroutine free to drain the channel.
+			runJob(j)
+		}
+	}
+	fn(0, chunk)
+	// Helping wait: drain queued jobs (this batch's, a sibling's, or a
+	// nested dispatch's) instead of blocking, so the pool cannot deadlock
+	// on re-entrant use. Once the queue is empty the remaining shards are
+	// mid-flight on workers and no helping is possible, so park on done
+	// rather than spinning against the CPUs those shards need.
+	for pending.Load() > 0 {
+		select {
+		case j := <-jobs:
+			runJob(j)
+		default:
+			select {
+			case j := <-jobs:
+				runJob(j)
+			case <-done:
+			}
+		}
+	}
+}
