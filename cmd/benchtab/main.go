@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gnnavigator/internal/experiments"
+	"gnnavigator/internal/pipeline"
 	"gnnavigator/internal/tensor"
 )
 
@@ -37,17 +38,31 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment to regenerate")
 		full     = flag.Bool("full", false, "full fidelity (slower, evaluation defaults)")
 		procs    = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
+		prefetch = flag.Int("prefetch", 0, "minibatch pipeline depth (0 = $GNNAV_PREFETCH or inline; results identical at any depth)")
 		parBench = flag.Bool("parallel-bench", false, "measure serial vs 2/4/8-worker speedups and write BENCH_parallel.json")
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel-bench")
+		pipBench = flag.Bool("pipeline-bench", false, "measure serial vs prefetch-1/2/4 epoch times and write BENCH_pipeline.json")
+		pipOut   = flag.String("pipeline-out", "BENCH_pipeline.json", "output path for -pipeline-bench")
 	)
 	flag.Parse()
 
 	if *procs > 0 {
 		tensor.SetParallelism(*procs)
 	}
+	// != 0 so -prefetch -1 forces the inline loop even when
+	// GNNAV_PREFETCH is set (SetDefaultPrefetch clamps negatives to 0).
+	if *prefetch != 0 {
+		pipeline.SetDefaultPrefetch(*prefetch)
+	}
 	if *parBench {
 		if err := runParallelBench(*parOut); err != nil {
 			log.Fatalf("parallel-bench: %v", err)
+		}
+		return
+	}
+	if *pipBench {
+		if err := runPipelineBench(*pipOut); err != nil {
+			log.Fatalf("pipeline-bench: %v", err)
 		}
 		return
 	}

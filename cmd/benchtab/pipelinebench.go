@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/model"
+)
+
+// pipelinePrefetchDepths is the BENCH_pipeline.json column set; -1 is the
+// inline serial epoch loop, the reference row.
+var pipelinePrefetchDepths = []int{-1, 1, 2, 4}
+
+// PipelineBenchEntry is one workload row of BENCH_pipeline.json:
+// per-prefetch-depth epoch wall time and speedup relative to the inline
+// loop. Outputs are bitwise-identical across depths (the equivalence
+// tests enforce it), so rows differ in wall time only.
+type PipelineBenchEntry struct {
+	Name    string          `json:"name"`
+	Unit    string          `json:"unit"`
+	Seconds map[int]float64 `json:"seconds_per_epoch"` // key -1 = inline
+	Speedup map[int]float64 `json:"speedup_vs_serial"`
+}
+
+// PipelineBenchReport is the whole BENCH_pipeline.json document.
+type PipelineBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Depths     []int                `json:"prefetch_depths"`
+	Entries    []PipelineBenchEntry `json:"entries"`
+}
+
+// runPipelineBench measures a full training epoch (sampling, cache,
+// gather, forward/backward, eval) at each prefetch depth and writes the
+// serial-vs-pipelined table. Two workloads: a cache-free PyG-style epoch
+// (pure sample/gather vs compute overlap) and a FIFO-cached one (the
+// lookup stage also runs ahead).
+func runPipelineBench(outPath string) error {
+	mkCfg := func(cached bool) (backend.Config, error) {
+		cfg, err := backend.FromTemplate(backend.TemplatePyG, dataset.OgbnArxiv, model.SAGE, "rtx4090")
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Epochs = 1
+		if cached {
+			cfg.CacheRatio = 0.2
+			cfg.CachePolicy = cache.FIFO
+		}
+		return cfg, cfg.Validate()
+	}
+
+	report := PipelineBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Depths:     pipelinePrefetchDepths,
+	}
+	for _, c := range []struct {
+		name, unit string
+		cached     bool
+	}{
+		{"TrainEpoch", "ogbn-arxiv SAGE epoch, no cache", false},
+		{"TrainEpochFIFO", "ogbn-arxiv SAGE epoch, fifo cache r=0.2", true},
+	} {
+		cfg, err := mkCfg(c.cached)
+		if err != nil {
+			return err
+		}
+		e := PipelineBenchEntry{
+			Name:    c.name,
+			Unit:    c.unit,
+			Seconds: map[int]float64{},
+			Speedup: map[int]float64{},
+		}
+		for _, depth := range pipelinePrefetchDepths {
+			opts := backend.Options{EvalBatch: 512, Prefetch: depth}
+			// One warm-up epoch (worker-pool spin-up, page faults), then
+			// time the best of two measured epochs to damp scheduler noise.
+			if _, err := backend.RunWith(cfg, opts); err != nil {
+				return err
+			}
+			best := 0.0
+			for rep := 0; rep < 2; rep++ {
+				start := time.Now()
+				if _, err := backend.RunWith(cfg, opts); err != nil {
+					return err
+				}
+				if el := time.Since(start).Seconds(); rep == 0 || el < best {
+					best = el
+				}
+			}
+			e.Seconds[depth] = best
+		}
+		for _, depth := range pipelinePrefetchDepths {
+			e.Speedup[depth] = e.Seconds[-1] / e.Seconds[depth]
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-16s", c.name)
+		for _, depth := range pipelinePrefetchDepths {
+			label := fmt.Sprintf("p%d", depth)
+			if depth < 0 {
+				label = "serial"
+			}
+			fmt.Printf("  %s %.3gs (%.2fx)", label, e.Seconds[depth], e.Speedup[depth])
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}

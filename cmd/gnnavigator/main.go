@@ -21,6 +21,7 @@ import (
 	"gnnavigator/internal/dse"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
+	"gnnavigator/internal/pipeline"
 	"gnnavigator/internal/tensor"
 )
 
@@ -39,11 +40,17 @@ func main() {
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
 		procs     = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
+		prefetch  = flag.Int("prefetch", 0, "minibatch pipeline depth (0 = $GNNAV_PREFETCH or inline; results identical at any depth)")
 	)
 	flag.Parse()
 
 	if *procs > 0 {
 		tensor.SetParallelism(*procs)
+	}
+	// != 0 so -prefetch -1 forces the inline loop even when
+	// GNNAV_PREFETCH is set (SetDefaultPrefetch clamps negatives to 0).
+	if *prefetch != 0 {
+		pipeline.SetDefaultPrefetch(*prefetch)
 	}
 
 	if _, ok := hw.Profiles()[*platform]; !ok {
@@ -79,6 +86,7 @@ func main() {
 		},
 		CalibSamples: *samples,
 		Epochs:       *epochs,
+		Prefetch:     *prefetch,
 		Seed:         *seed,
 	})
 	if err != nil {

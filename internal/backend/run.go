@@ -3,7 +3,6 @@ package backend
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"gnnavigator/internal/cache"
@@ -12,6 +11,7 @@ import (
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
+	"gnnavigator/internal/pipeline"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/sim"
 	"gnnavigator/internal/tensor"
@@ -63,6 +63,26 @@ type Options struct {
 	// run's duration (restored on return), so runs with different
 	// non-zero Parallelism values must not execute concurrently.
 	Parallelism int
+	// Prefetch is the minibatch pipeline depth: sampling, cache lookup
+	// and feature gather for batch i+k overlap training compute for
+	// batch i (internal/pipeline). 0 = the process-wide default
+	// (pipeline.DefaultPrefetch, settable via GNNAV_PREFETCH or the
+	// -prefetch CLI flags); < 0 forces the inline serial loop. Outputs
+	// are bitwise-identical at every depth.
+	Prefetch int
+}
+
+// prefetchDepth resolves the Options.Prefetch encoding to a concrete
+// pipeline depth.
+func (o Options) prefetchDepth() int {
+	switch {
+	case o.Prefetch > 0:
+		return o.Prefetch
+	case o.Prefetch < 0:
+		return 0
+	default:
+		return pipeline.DefaultPrefetch()
+	}
 }
 
 // Run executes cfg on the backend and returns its performance.
@@ -91,7 +111,6 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		}
 	}
 	plat := hw.Profiles()[cfg.Platform]
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Device cache sized as a fraction of the scaled graph (the ratio is
 	// scale-invariant; memory accounting uses the full-scale ratio).
@@ -165,86 +184,99 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	perf := &Perf{Feasible: true}
 	var sumBatch, sumEdges float64
 	var sumTiming sim.BatchTiming
-	trainRng := rand.New(rand.NewSource(cfg.Seed + 13))
 
 	// The run owns one workspace arena: every forward/backward
-	// intermediate is recycled after the optimizer step, and the gathered
-	// feature matrix is reused across mini-batches and epochs, so the
-	// steady-state training loop stops allocating.
+	// intermediate is recycled after the optimizer step. The gathered
+	// feature matrix lives in the pipeline's buffer ring, so the gather
+	// for batch i+1 can fill one buffer while batch i trains from
+	// another without the steady-state loop allocating.
 	ws := tensor.NewWorkspace()
 	mdl.SetWorkspace(ws)
-	var featBuf *tensor.Dense
-	var labelBuf []int32
+	prefetch := opts.prefetchDepth()
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		batches := sample.EpochBatches(trainRng, ds.TrainIdx, cfg.BatchSize)
-		var timings []sim.BatchTiming
-		for _, targets := range batches {
-			mb := smp.Sample(rng, g, targets)
-			miss := devCache.Lookup(mb.InputNodes)
-			updates := devCache.Update(miss)
-
-			vols := sim.BatchVolumes{
-				SampledVertices:  mb.NumVertices,
-				TargetVertices:   len(targets),
-				InputVertices:    len(mb.InputNodes),
-				MissVertices:     len(miss),
-				CacheUpdateOps:   updates,
-				SampledEdges:     mb.NumEdges,
-				FLOPs:            mdl.FLOPs(mb),
-				FeatureFLOPShare: featShare,
-				ScaledFeatDim:    g.FeatDim,
-				Layers:           cfg.Layers,
-				WalkSteps:        walkSteps * len(targets),
-			}
-			wl := sim.Workload{
-				VertexScale:    effScale(mb.NumVertices),
-				FeatDim:        ds.FullFeatDim,
-				BytesPerScalar: 4,
-			}
-			bt := sim.EstimateBatch(vols, plat, wl)
-			timings = append(timings, bt)
-			sumTiming.TSample += bt.TSample
-			sumTiming.TTransfer += bt.TTransfer
-			sumTiming.TReplace += bt.TReplace
-			sumTiming.TCompute += bt.TCompute
-
-			sumBatch += float64(mb.NumVertices)
-			sumEdges += float64(mb.NumEdges)
-			if mb.NumVertices > perf.PeakBatchSize {
-				perf.PeakBatchSize = mb.NumVertices
-			}
-			if mb.NumEdges > perf.PeakBatchEdges {
-				perf.PeakBatchEdges = mb.NumEdges
-			}
-			perf.Iterations++
-
-			if !opts.SkipTraining {
-				featBuf = model.GatherFeaturesInto(featBuf, g, mb.InputNodes)
-				logits, err := mdl.Forward(mb, featBuf, true)
-				if err != nil {
-					return nil, err
-				}
-				labelBuf = tensor.Grow(labelBuf, len(mb.Targets))
-				labels := labelBuf
-				for i, v := range mb.Targets {
-					labels[i] = g.Labels[v]
-				}
-				_, dLogits := nn.SoftmaxCrossEntropyWS(ws, logits, labels)
-				mdl.Backward(dLogits)
-				opt.Step(mdl.Params())
-				ws.ReleaseAll()
-			}
+	// The epoch loop runs on the staged pipeline engine: a sampler stage
+	// and a cache-lookup+gather stage run up to `prefetch` batches ahead
+	// of this consumer, which keeps all model state single-threaded.
+	// Cache-aware biased sampling against a dynamic cache reads residency
+	// that the lookup stage mutates, so those runs fuse the two producer
+	// stages to preserve the serial residency sequence.
+	var timings []sim.BatchTiming
+	consume := func(b *pipeline.Batch) error {
+		mb := b.MB
+		vols := sim.BatchVolumes{
+			SampledVertices:  mb.NumVertices,
+			TargetVertices:   len(b.Targets),
+			InputVertices:    len(mb.InputNodes),
+			MissVertices:     b.Miss,
+			CacheUpdateOps:   b.CacheOps,
+			SampledEdges:     mb.NumEdges,
+			FLOPs:            mdl.FLOPs(mb),
+			FeatureFLOPShare: featShare,
+			ScaledFeatDim:    g.FeatDim,
+			Layers:           cfg.Layers,
+			WalkSteps:        walkSteps * len(b.Targets),
 		}
-		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
+		wl := sim.Workload{
+			VertexScale:    effScale(mb.NumVertices),
+			FeatDim:        ds.FullFeatDim,
+			BytesPerScalar: 4,
+		}
+		bt := sim.EstimateBatch(vols, plat, wl)
+		timings = append(timings, bt)
+		sumTiming.TSample += bt.TSample
+		sumTiming.TTransfer += bt.TTransfer
+		sumTiming.TReplace += bt.TReplace
+		sumTiming.TCompute += bt.TCompute
+
+		sumBatch += float64(mb.NumVertices)
+		sumEdges += float64(mb.NumEdges)
+		perf.PeakBatchSize = max(perf.PeakBatchSize, mb.NumVertices)
+		perf.PeakBatchEdges = max(perf.PeakBatchEdges, mb.NumEdges)
+		perf.Iterations++
+
 		if !opts.SkipTraining {
-			acc, err := Evaluate(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29)
+			logits, err := mdl.Forward(mb, b.Feats, true)
 			if err != nil {
-				return nil, err
+				return err
+			}
+			_, dLogits := nn.SoftmaxCrossEntropyWS(ws, logits, b.Labels)
+			mdl.Backward(dLogits)
+			opt.Step(mdl.Params())
+			ws.ReleaseAll()
+		}
+		return nil
+	}
+	epochEnd := func(epoch int) error {
+		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
+		timings = timings[:0]
+		if !opts.SkipTraining {
+			acc, err := EvaluateWith(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch)
+			if err != nil {
+				return err
 			}
 			perf.AccuracyHistory = append(perf.AccuracyHistory, acc)
 			perf.Accuracy = acc
 		}
+		return nil
+	}
+	err = pipeline.Run(pipeline.Config{
+		Graph:     g,
+		Sampler:   smp,
+		Cache:     devCache,
+		Seed:      cfg.Seed,
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Targets:   ds.TrainIdx,
+		Shuffle:   true,
+		Gather:    !opts.SkipTraining,
+		Prefetch:  prefetch,
+		// Keyed on the cache's effective policy, not cfg.CachePolicy: a
+		// zero-capacity cache is downgraded to None above, and a None/
+		// Static cache never needs stage fusion.
+		CoupledSampler: cfg.BiasRate > 0 && devCache.Policy().Dynamic(),
+	}, consume, epochEnd)
+	if err != nil {
+		return nil, err
 	}
 
 	// Aggregate timing/volumes.
@@ -361,7 +393,7 @@ func analyticFullBound(cfg Config, ds *dataset.Dataset) float64 {
 // in >> hidden.
 func featureFLOPShare(cfg Config, featDim int) float64 {
 	in := float64(featDim)
-	rest := float64(cfg.Hidden) * float64(maxInt(cfg.Layers-1, 1))
+	rest := float64(cfg.Hidden) * float64(max(cfg.Layers-1, 1))
 	return in / (in + rest)
 }
 
@@ -377,12 +409,20 @@ func paramsAtFullScale(m *model.Model, ds *dataset.Dataset, cfg Config) int {
 	if cfg.Model == model.SAGE {
 		delta *= 2 // self + neighbor paths
 	}
-	return p + maxInt(delta, 0)
+	return p + max(delta, 0)
 }
 
 // Evaluate measures accuracy of mdl on the given vertices using a
-// deterministic node-wise sampler with generous fanouts.
+// deterministic node-wise sampler with generous fanouts, at the
+// process-wide default prefetch depth.
 func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64) (float64, error) {
+	return EvaluateWith(mdl, g, idx, limit, seed, pipeline.DefaultPrefetch())
+}
+
+// EvaluateWith is Evaluate on the pipelined engine at an explicit
+// prefetch depth: sampling and feature gather for chunk i+1 overlap the
+// forward pass for chunk i. Results are bitwise-identical at any depth.
+func EvaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
 	if len(idx) == 0 {
 		return 0, fmt.Errorf("backend: empty evaluation set")
 	}
@@ -393,39 +433,29 @@ func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int
 	for i := range fanouts {
 		fanouts[i] = 15
 	}
-	smp := &sample.NodeWise{Fanouts: fanouts}
-	rng := rand.New(rand.NewSource(seed))
 	ws := mdl.Workspace()
 	var correct, total int
-	var featBuf *tensor.Dense
-	var labelBuf []int32
-	const evalBatch = 512
-	for start := 0; start < len(idx); start += evalBatch {
-		end := start + evalBatch
-		if end > len(idx) {
-			end = len(idx)
-		}
-		mb := smp.Sample(rng, g, idx[start:end])
-		featBuf = model.GatherFeaturesInto(featBuf, g, mb.InputNodes)
-		logits, err := mdl.Forward(mb, featBuf, false)
+	err := pipeline.Run(pipeline.Config{
+		Graph:     g,
+		Sampler:   &sample.NodeWise{Fanouts: fanouts},
+		Seed:      seed,
+		Epochs:    1,
+		BatchSize: 512,
+		Targets:   idx,
+		Gather:    true,
+		Prefetch:  prefetch,
+	}, func(b *pipeline.Batch) error {
+		logits, err := mdl.Forward(b.MB, b.Feats, false)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		labelBuf = tensor.Grow(labelBuf, len(mb.Targets))
-		labels := labelBuf
-		for i, v := range mb.Targets {
-			labels[i] = g.Labels[v]
-		}
-		correct += int(nn.Accuracy(logits, labels) * float64(len(labels)))
-		total += len(labels)
+		correct += int(nn.Accuracy(logits, b.Labels) * float64(len(b.Labels)))
+		total += len(b.Labels)
 		ws.ReleaseAll()
+		return nil
+	}, nil)
+	if err != nil {
+		return 0, err
 	}
 	return float64(correct) / float64(total), nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -17,6 +17,7 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"gnnavigator/internal/graph"
 )
@@ -45,7 +46,19 @@ func (p Policy) Valid() bool {
 }
 
 // Cache is a vertex-feature cache with hit/miss accounting.
+//
+// Concurrency contract: all methods are mutex-guarded, so the pipelined
+// engine's lookup stage may run ahead of the training consumer while
+// cache-aware samplers call Contains from another goroutine. Determinism,
+// however, is an ordering property the mutex cannot provide: exactly one
+// goroutine (the pipeline's cache stage) must issue Lookup/Update, in
+// batch order. Biased samplers whose p(η) reads residency of a *dynamic*
+// (FIFO/LRU) cache must run fused with that stage — see
+// pipeline.Config.CoupledSampler — because residency then depends on how
+// far the updates have progressed. Static caches are immutable after New,
+// so Contains is order-independent and samplers may read them freely.
 type Cache struct {
+	mu       sync.Mutex
 	policy   Policy
 	capacity int
 
@@ -94,8 +107,14 @@ func (c *Cache) Policy() Policy { return c.policy }
 // Capacity returns the capacity in vertices.
 func (c *Cache) Capacity() int { return c.capacity }
 
+// Dynamic reports whether the policy mutates residency at run time
+// (FIFO/LRU). None never holds anything and Static is frozen after New.
+func (p Policy) Dynamic() bool { return p == FIFO || p == LRU }
+
 // Len returns the number of currently resident vertices.
 func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.policy == Static {
 		return len(c.staticResident)
 	}
@@ -106,9 +125,13 @@ func (c *Cache) Len() int {
 // recency state.
 func (c *Cache) Contains(v int32) bool {
 	if c.policy == Static {
+		// staticResident is immutable after New: lock-free read keeps the
+		// biased-sampling hot loop cheap and order-independent.
 		return c.staticResident[v]
 	}
+	c.mu.Lock()
 	_, ok := c.resident[v]
+	c.mu.Unlock()
 	return ok
 }
 
@@ -116,6 +139,8 @@ func (c *Cache) Contains(v int32) bool {
 // (these must be transferred from the host). For LRU, hits refresh
 // recency.
 func (c *Cache) Lookup(nodes []int32) (miss []int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, v := range nodes {
 		if c.policy == Static {
 			if c.staticResident[v] {
@@ -146,6 +171,8 @@ func (c *Cache) Update(miss []int32) int {
 	if c.policy == None || c.policy == Static || c.capacity == 0 {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var ops int
 	for _, v := range miss {
 		if _, ok := c.resident[v]; ok {
@@ -169,6 +196,8 @@ func (c *Cache) Update(miss []int32) int {
 
 // HitRate returns hits / (hits+misses), or 0 before any lookup.
 func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	total := c.hits + c.misses
 	if total == 0 {
 		return 0
@@ -178,10 +207,14 @@ func (c *Cache) HitRate() float64 {
 
 // Stats returns cumulative (hits, misses, updateOps).
 func (c *Cache) Stats() (hits, misses, updates int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses, c.updates
 }
 
 // ResetStats clears accounting but keeps residency.
 func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.hits, c.misses, c.updates = 0, 0, 0
 }

@@ -52,6 +52,13 @@ type Input struct {
 	Epochs int     // default 3
 	LR     float64 // default 0.01
 
+	// Prefetch is the minibatch pipeline depth for every backend run the
+	// Navigator issues — calibration profiling (the DSE measurement path)
+	// and final training alike. 0 = process default, < 0 = inline; see
+	// backend.Options.Prefetch. Any value yields bitwise-identical
+	// results, so this is purely a wall-clock knob.
+	Prefetch int
+
 	Seed int64
 }
 
@@ -123,7 +130,8 @@ func New(in Input) (*Navigator, error) {
 	var records []estimator.Record
 	for i, name := range in.CalibDatasets {
 		recs, err := estimator.CollectCached(name, in.Model, in.Platform,
-			in.CalibSamples, in.Seed+int64(i)*101, true)
+			in.CalibSamples, in.Seed+int64(i)*101, true,
+			backend.Options{Prefetch: in.Prefetch})
 		if err != nil {
 			return nil, fmt.Errorf("core: calibration on %s: %w", name, err)
 		}
@@ -180,7 +188,7 @@ func augment(in Input) ([]estimator.Record, error) {
 			d = d2
 		}
 		cfgs := estimator.ProbeConfigs(d.Name, in.Model, in.Platform, 4, in.Seed+int64(i)*7)
-		recs, err := estimator.Collect(cfgs, false)
+		recs, err := estimator.Collect(cfgs, false, backend.Options{Prefetch: in.Prefetch})
 		if err != nil {
 			return nil, err
 		}
@@ -235,9 +243,10 @@ func (n *Navigator) Explore() (*Guidelines, error) {
 }
 
 // Train performs Step 3: execute a guideline configuration for real and
-// return the measured performance.
+// return the measured performance. The run uses the Navigator's pipeline
+// prefetch depth; results are bitwise-identical at any depth.
 func (n *Navigator) Train(cfg backend.Config) (*backend.Perf, error) {
-	return backend.Run(cfg)
+	return backend.RunWith(cfg, backend.Options{Prefetch: n.in.Prefetch})
 }
 
 // Run chains Explore and Train on the chosen guideline.

@@ -143,14 +143,23 @@ type Record struct {
 // Collect executes each config on the backend and returns records. When
 // withAccuracy is false the NN training step is skipped (records then
 // carry zero accuracy and are excluded from accuracy-model training).
-func Collect(cfgs []backend.Config, withAccuracy bool) ([]Record, error) {
+// An optional Options value tunes run fidelity knobs (pipeline prefetch,
+// parallelism) for every profiling run; SkipTraining is always derived
+// from withAccuracy. Perf outputs are bitwise-identical across those
+// knobs, so they change profiling wall time only, never the records.
+func Collect(cfgs []backend.Config, withAccuracy bool, opts ...backend.Options) ([]Record, error) {
+	runOpts := backend.Options{}
+	if len(opts) > 0 {
+		runOpts = opts[0]
+	}
+	runOpts.SkipTraining = !withAccuracy
 	out := make([]Record, 0, len(cfgs))
 	for _, cfg := range cfgs {
 		ds, err := dataset.Load(cfg.Dataset)
 		if err != nil {
 			return nil, err
 		}
-		perf, err := backend.RunWith(cfg, backend.Options{SkipTraining: !withAccuracy})
+		perf, err := backend.RunWith(cfg, runOpts)
 		if err != nil {
 			return nil, fmt.Errorf("estimator: collect %s: %w", cfg.Label(), err)
 		}
@@ -308,7 +317,7 @@ func analyticEdges(cfg backend.Config, st GraphStats, vi float64) float64 {
 		// Induced subgraph: each vertex keeps roughly deg·(vi/n) of its
 		// neighbors, floored by the walk path edges themselves.
 		n := math.Exp(st.LogVertices)
-		induced := vi * st.AvgDegree * math.Min(vi/n, 1) * float64(maxInt(cfg.Layers, 1))
+		induced := vi * st.AvgDegree * math.Min(vi/n, 1) * float64(max(cfg.Layers, 1))
 		return math.Max(induced, 2*vi)
 	default:
 		L := len(cfg.Fanouts)
@@ -697,13 +706,6 @@ func analyticParams(cfg backend.Config, ds *dataset.Dataset) int {
 		}
 	}
 	return total
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -115,8 +115,10 @@ var (
 // CollectCached memoizes Collect for a standard probe grid, keyed by
 // (dataset, model, platform, n, seed, accuracy). Experiment harnesses and
 // tests share calibration data through this, since ground-truth collection
-// is the expensive step.
-func CollectCached(dsName string, kind model.Kind, platform string, n int, seed int64, withAccuracy bool) ([]Record, error) {
+// is the expensive step. Run-fidelity options (prefetch/parallelism) are
+// deliberately absent from the key: backend outputs are bitwise-identical
+// across them, so records collected at any depth are interchangeable.
+func CollectCached(dsName string, kind model.Kind, platform string, n int, seed int64, withAccuracy bool, opts ...backend.Options) ([]Record, error) {
 	key := fmt.Sprintf("%s/%s/%s/%d/%d/%v", dsName, kind, platform, n, seed, withAccuracy)
 	calibMu.Lock()
 	if recs, ok := calibCache[key]; ok {
@@ -125,7 +127,7 @@ func CollectCached(dsName string, kind model.Kind, platform string, n int, seed 
 	}
 	calibMu.Unlock()
 	cfgs := ProbeConfigs(dsName, kind, platform, n, seed)
-	recs, err := Collect(cfgs, withAccuracy)
+	recs, err := Collect(cfgs, withAccuracy, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,365 @@
+// Package pipeline is the staged minibatch engine behind backend.RunWith
+// and backend.Evaluate: the epoch loop, extracted from the trainer and
+// reorganized as a bounded producer/consumer pipeline so host-side work
+// (sampling, cache maintenance, feature gather) for batch i+1 overlaps
+// device-side work (forward/backward/optimizer) for batch i — the
+// executable form of Eq. 4's max(host, device) overlap, applied to the
+// reproduction's own wall clock.
+//
+// Stages:
+//
+//	Sampler ──chA──▶ CacheLookup+Gather ──chB──▶ Consumer (train/eval)
+//
+// Each stage is one goroutine; chA/chB are each bounded by the prefetch
+// depth, so across both queues plus in-flight work the sampler runs at
+// most ~2·Prefetch+3 batches ahead of the consumer. The memory-heavy
+// product — the gathered feature matrix — is bounded tighter: it lives
+// in a recycled ring of exactly Prefetch+2 buffer sets (the generalized
+// double buffer: one being filled, up to Prefetch queued, one in use by
+// the consumer), so steady-state prefetch allocates nothing and holds at
+// most Prefetch+2 feature matrices regardless of queue occupancy.
+//
+// Determinism contract: every batch draws from an RNG derived from
+// (Seed, epoch, batchIndex) — sample.BatchRNG — never from a shared
+// stream, so its draws do not depend on pipeline timing; the cache is
+// mutated by exactly one stage in batch order; and the consumer receives
+// batches strictly in (epoch, index) order. Together these make the
+// engine's output bitwise-identical at every prefetch depth, including
+// the Prefetch=0 inline path, which runs the same stage functions
+// synchronously with zero goroutines.
+package pipeline
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// maxPrefetch bounds the lookahead depth; deeper queues only add memory,
+// not overlap, once the consumer is the bottleneck.
+const maxPrefetch = 64
+
+var defaultPrefetch atomic.Int32
+
+func init() {
+	if s := os.Getenv("GNNAV_PREFETCH"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			SetDefaultPrefetch(n)
+		}
+	}
+}
+
+// SetDefaultPrefetch sets the process-wide prefetch depth used when a run
+// does not pin one explicitly (backend.Options.Prefetch == 0). n <= 0
+// selects the inline path. The default is 0 (inline), overridable with
+// the GNNAV_PREFETCH environment variable and the -prefetch CLI flags.
+func SetDefaultPrefetch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxPrefetch {
+		n = maxPrefetch
+	}
+	defaultPrefetch.Store(int32(n))
+}
+
+// DefaultPrefetch reports the process-wide prefetch depth.
+func DefaultPrefetch() int { return int(defaultPrefetch.Load()) }
+
+// Batch is one unit of work flowing through the pipeline. By the time the
+// consumer sees it, every host-side product is attached: the sampled
+// minibatch, the cache outcome, and (when Config.Gather is set) the
+// gathered input-feature matrix and target labels. The per-batch counts
+// are exactly what sim.BatchVolumes needs, so the consumer can price the
+// iteration (sim.EstimateBatch) without re-touching cache or graph state.
+type Batch struct {
+	// Epoch and Index are the batch's pipeline coordinates; Index counts
+	// from 0 within the epoch. The consumer sees batches in strictly
+	// increasing (Epoch, Index) order.
+	Epoch, Index int
+	// Targets is the seed vertex set (a sub-slice of the epoch plan).
+	Targets []int32
+	// MB is the sampled minibatch.
+	MB *sample.MiniBatch
+	// Miss is the number of MB.InputNodes absent from the cache (the
+	// transfer volume of Eq. 6); 0 when the run has no cache.
+	Miss int
+	// CacheOps is the number of replacement operations Update performed
+	// admitting the misses (Eq. 5's stale-data volume).
+	CacheOps int
+	// Feats is the gathered input-feature matrix (row i = features of
+	// MB.InputNodes[i]); nil unless Config.Gather. It is owned by the
+	// pipeline's buffer ring and is valid only until the consumer
+	// callback returns.
+	Feats *tensor.Dense
+	// Labels holds the labels of MB.Targets; nil unless Config.Gather.
+	// Same lifetime as Feats.
+	Labels []int32
+
+	buf *bufferSet
+}
+
+// bufferSet is one slot of the gather ring: the feature matrix and label
+// slice a batch carries from the gather stage to the consumer.
+type bufferSet struct {
+	feats  *tensor.Dense
+	labels []int32
+}
+
+// Config wires one pipeline run.
+type Config struct {
+	Graph   *graph.Graph
+	Sampler sample.Sampler
+	// Cache is looked up (and, policy permitting, updated) per batch in
+	// the gather stage; nil disables cache accounting.
+	Cache *cache.Cache
+
+	// Seed roots the per-batch RNG derivation (sample.BatchRNG).
+	Seed int64
+	// Epochs is the number of passes over Targets (min 1).
+	Epochs int
+	// BatchSize is |B_0|; <= 0 means one batch of all targets.
+	BatchSize int
+	// Targets are the seed vertices; must be non-empty.
+	Targets []int32
+	// Shuffle re-permutes Targets per epoch (training); false keeps the
+	// given order (evaluation).
+	Shuffle bool
+	// Gather fills Batch.Feats/Batch.Labels in the gather stage.
+	Gather bool
+
+	// Prefetch is the lookahead depth: how many batches each stage may
+	// run ahead of the consumer. <= 0 runs the inline path (no
+	// goroutines), which is the bitwise reference for every depth.
+	Prefetch int
+	// CoupledSampler declares that the sampler reads mutable cache state
+	// (a cache-aware bias against a dynamic FIFO/LRU cache). The engine
+	// then fuses the sampler and cache stages into one goroutine so each
+	// batch samples against exactly the post-batch-(i-1) residency the
+	// serial loop would see — still overlapped with the consumer, but
+	// never racing ahead of the cache. Static caches don't need this:
+	// their residency is immutable, so Contains is order-independent.
+	CoupledSampler bool
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Graph == nil || cfg.Sampler == nil {
+		return fmt.Errorf("pipeline: need a graph and a sampler")
+	}
+	if len(cfg.Targets) == 0 {
+		return fmt.Errorf("pipeline: no target vertices")
+	}
+	if cfg.Epochs < 1 {
+		return fmt.Errorf("pipeline: epochs %d < 1", cfg.Epochs)
+	}
+	return nil
+}
+
+// plan returns epoch e's batch list. With Shuffle the permutation comes
+// from the per-epoch stream (independent of every other epoch); without,
+// targets are chunked in the given order.
+func (cfg *Config) plan(epoch int) [][]int32 {
+	if cfg.Shuffle {
+		return sample.EpochBatches(sample.EpochRNG(cfg.Seed, epoch), cfg.Targets, cfg.BatchSize)
+	}
+	b0 := cfg.BatchSize
+	if b0 <= 0 {
+		b0 = len(cfg.Targets)
+	}
+	var out [][]int32
+	for start := 0; start < len(cfg.Targets); start += b0 {
+		out = append(out, cfg.Targets[start:min(start+b0, len(cfg.Targets))])
+	}
+	return out
+}
+
+// sampleBatch is the sampler stage's work for one batch.
+func (cfg *Config) sampleBatch(epoch, index int, targets []int32) *Batch {
+	rng := sample.BatchRNG(cfg.Seed, epoch, index)
+	return &Batch{
+		Epoch:   epoch,
+		Index:   index,
+		Targets: targets,
+		MB:      cfg.Sampler.Sample(rng, cfg.Graph, targets),
+	}
+}
+
+// prepareBatch is the cache+gather stage's work for one batch: cache
+// lookup/update in batch order, then feature/label gather into the
+// batch's buffer set.
+func (cfg *Config) prepareBatch(b *Batch, buf *bufferSet) {
+	if cfg.Cache != nil {
+		miss := cfg.Cache.Lookup(b.MB.InputNodes)
+		b.Miss = len(miss)
+		b.CacheOps = cfg.Cache.Update(miss)
+	}
+	if cfg.Gather {
+		b.buf = buf
+		buf.feats = model.GatherFeaturesInto(buf.feats, cfg.Graph, b.MB.InputNodes)
+		buf.labels = tensor.Grow(buf.labels, len(b.MB.Targets))
+		for i, v := range b.MB.Targets {
+			buf.labels[i] = cfg.Graph.Labels[v]
+		}
+		b.Feats = buf.feats
+		b.Labels = buf.labels
+	}
+}
+
+// Run drives the pipeline: consume is called for every batch in (epoch,
+// index) order, and epochEnd (optional) after the last batch of each
+// epoch — both on the calling goroutine, so consumers may use non-thread-
+// safe state (model, optimizer, workspace) freely. Run returns the first
+// callback error after shutting the stages down; no goroutine outlives
+// the call.
+func Run(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) error) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if epochEnd == nil {
+		epochEnd = func(int) error { return nil }
+	}
+	if cfg.Prefetch <= 0 {
+		return runInline(cfg, consume, epochEnd)
+	}
+	return runAsync(cfg, consume, epochEnd)
+}
+
+// runInline is the zero-goroutine reference path: the same stage
+// functions, executed synchronously per batch with a single buffer set.
+func runInline(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) error) error {
+	buf := &bufferSet{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i, targets := range cfg.plan(epoch) {
+			b := cfg.sampleBatch(epoch, i, targets)
+			cfg.prepareBatch(b, buf)
+			if err := consume(b); err != nil {
+				return err
+			}
+		}
+		if err := epochEnd(epoch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) error) error {
+	depth := min(cfg.Prefetch, maxPrefetch)
+
+	// done tears the stages down on early exit (consumer error): senders
+	// select against it, so none blocks forever on an abandoned channel.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+
+	// Gather ring: one set being filled, up to depth queued, one held by
+	// the consumer. Only Gather runs draw from it (the consumer returns
+	// each set after use); acquire blocks when the consumer falls behind,
+	// which is the pipeline's natural backpressure.
+	free := make(chan *bufferSet, depth+2)
+	for i := 0; i < depth+2; i++ {
+		free <- &bufferSet{}
+	}
+	acquire := func() (*bufferSet, bool) {
+		if !cfg.Gather {
+			return nil, true
+		}
+		select {
+		case buf := <-free:
+			return buf, true
+		case <-done:
+			return nil, false
+		}
+	}
+
+	out := make(chan *Batch, depth)
+	if cfg.CoupledSampler {
+		// Fused producer: sample→lookup→update→gather sequentially per
+		// batch, so cache-reading samplers observe exactly the serial
+		// residency sequence.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(out)
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for i, targets := range cfg.plan(epoch) {
+					b := cfg.sampleBatch(epoch, i, targets)
+					buf, ok := acquire()
+					if !ok {
+						return
+					}
+					cfg.prepareBatch(b, buf)
+					select {
+					case out <- b:
+					case <-done:
+						return
+					}
+				}
+			}
+		}()
+	} else {
+		sampled := make(chan *Batch, depth)
+		wg.Add(1)
+		go func() { // sampler stage
+			defer wg.Done()
+			defer close(sampled)
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for i, targets := range cfg.plan(epoch) {
+					select {
+					case sampled <- cfg.sampleBatch(epoch, i, targets):
+					case <-done:
+						return
+					}
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() { // cache lookup + gather stage
+			defer wg.Done()
+			defer close(out)
+			for b := range sampled {
+				buf, ok := acquire()
+				if !ok {
+					return
+				}
+				cfg.prepareBatch(b, buf)
+				select {
+				case out <- b:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Consumer: caller's goroutine.
+	epoch := 0
+	for b := range out {
+		if b.Epoch != epoch {
+			if err := epochEnd(epoch); err != nil {
+				return err
+			}
+			epoch = b.Epoch
+		}
+		if err := consume(b); err != nil {
+			return err
+		}
+		if b.buf != nil {
+			b.Feats, b.Labels = nil, nil
+			free <- b.buf
+			b.buf = nil
+		}
+	}
+	return epochEnd(epoch)
+}

@@ -1,0 +1,285 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/sample"
+)
+
+// digest is an order-sensitive fingerprint of everything a batch hands
+// the consumer, so inline and async runs can be compared exactly.
+type digest struct {
+	epoch, index  int
+	targets       int
+	vertices      int
+	edges         int
+	miss, ops     int
+	featsChecksum float64
+	labelSum      int64
+}
+
+func runDigests(t *testing.T, cfg Config) ([]digest, []int) {
+	t.Helper()
+	var ds []digest
+	var epochEnds []int
+	err := Run(cfg, func(b *Batch) error {
+		d := digest{
+			epoch: b.Epoch, index: b.Index,
+			targets:  len(b.Targets),
+			vertices: b.MB.NumVertices,
+			edges:    b.MB.NumEdges,
+			miss:     b.Miss, ops: b.CacheOps,
+		}
+		if b.Feats != nil {
+			for _, v := range b.Feats.Data {
+				d.featsChecksum += v
+			}
+		}
+		for _, l := range b.Labels {
+			d.labelSum += int64(l)
+		}
+		ds = append(ds, d)
+		return nil
+	}, func(epoch int) error {
+		epochEnds = append(epochEnds, epoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, epochEnds
+}
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	d, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Graph:     d.Graph,
+		Sampler:   &sample.NodeWise{Fanouts: []int{6, 4}},
+		Seed:      11,
+		Epochs:    3,
+		BatchSize: 300,
+		Targets:   d.TrainIdx,
+		Shuffle:   true,
+		Gather:    true,
+	}
+}
+
+// TestAsyncBitwiseEqualInline: the engine's core promise — any prefetch
+// depth reproduces the inline path exactly, per batch, including cache
+// evolution and gathered features.
+func TestAsyncBitwiseEqualInline(t *testing.T) {
+	for _, withCache := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cache=%v", withCache), func(t *testing.T) {
+			mk := func(prefetch int) ([]digest, []int) {
+				cfg := testConfig(t)
+				cfg.Prefetch = prefetch
+				if withCache {
+					c, err := cache.New(cache.FIFO, 2000, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Cache = c
+				}
+				return runDigests(t, cfg)
+			}
+			ref, refEnds := mk(0)
+			if len(ref) == 0 {
+				t.Fatal("no batches consumed")
+			}
+			for _, depth := range []int{1, 2, 7} {
+				got, gotEnds := mk(depth)
+				if len(got) != len(ref) {
+					t.Fatalf("prefetch %d consumed %d batches, inline %d", depth, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("prefetch %d batch %d differs: %+v vs %+v", depth, i, got[i], ref[i])
+					}
+				}
+				if len(gotEnds) != len(refEnds) {
+					t.Fatalf("epoch-end calls: %v vs %v", gotEnds, refEnds)
+				}
+			}
+		})
+	}
+}
+
+// TestCoupledSamplerEqualInline covers the fused producer: a bias func
+// reading dynamic cache residency must see the serial residency sequence
+// at any depth.
+func TestCoupledSamplerEqualInline(t *testing.T) {
+	mk := func(prefetch int) ([]digest, []int) {
+		cfg := testConfig(t)
+		cfg.Prefetch = prefetch
+		cfg.CoupledSampler = true
+		c, err := cache.New(cache.LRU, 1500, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+		cfg.Sampler = &sample.NodeWise{
+			Fanouts: []int{6, 4},
+			Bias: func(v int32) float64 {
+				if c.Contains(v) {
+					return 1
+				}
+				return 0
+			},
+			BiasStrength: 0.9,
+		}
+		return runDigests(t, cfg)
+	}
+	ref, _ := mk(0)
+	for _, depth := range []int{1, 4} {
+		got, _ := mk(depth)
+		if len(got) != len(ref) {
+			t.Fatalf("prefetch %d consumed %d batches, inline %d", depth, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("coupled prefetch %d batch %d differs: %+v vs %+v", depth, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestOrderingAndEpochEnds: batches arrive in strict (epoch, index)
+// order with epochEnd interleaved exactly once per epoch.
+func TestOrderingAndEpochEnds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Prefetch = 4
+	ds, ends := runDigests(t, cfg)
+	wantEpoch, wantIndex := 0, 0
+	for _, d := range ds {
+		if d.index == 0 && d.epoch == wantEpoch+1 {
+			wantEpoch, wantIndex = d.epoch, 0
+		}
+		if d.epoch != wantEpoch || d.index != wantIndex {
+			t.Fatalf("out of order: got (%d,%d), want (%d,%d)", d.epoch, d.index, wantEpoch, wantIndex)
+		}
+		wantIndex++
+	}
+	if len(ends) != cfg.Epochs {
+		t.Fatalf("epochEnd called %d times, want %d", len(ends), cfg.Epochs)
+	}
+	for i, e := range ends {
+		if e != i {
+			t.Fatalf("epochEnd order %v", ends)
+		}
+	}
+}
+
+// TestConsumeErrorStopsPipeline: a consumer error propagates out of Run
+// and shuts the stages down without deadlocking (the test would hang
+// otherwise, and -race would flag leaked stages touching the cache).
+func TestConsumeErrorStopsPipeline(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Prefetch = 3
+	boom := fmt.Errorf("boom")
+	n := 0
+	err := Run(cfg, func(b *Batch) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	}, nil)
+	if err != boom {
+		t.Fatalf("Run returned %v, want consumer error", err)
+	}
+	if n != 3 {
+		t.Fatalf("consumed %d batches after error, want 3", n)
+	}
+}
+
+// TestBufferRingBounded: the gather ring must recycle — an async run may
+// touch at most prefetch+2 distinct feature buffers.
+func TestBufferRingBounded(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Prefetch = 2
+	seen := map[*float64]bool{}
+	err := Run(cfg, func(b *Batch) error {
+		if b.Feats != nil && len(b.Feats.Data) > 0 {
+			seen[&b.Feats.Data[0]] = true
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GatherFeaturesInto may reallocate while batch sizes still grow, so
+	// allow a small settling allowance beyond the steady-state ring.
+	if len(seen) > (cfg.Prefetch+2)*3 {
+		t.Errorf("saw %d distinct feature buffers, ring should bound reuse near %d", len(seen), cfg.Prefetch+2)
+	}
+}
+
+// TestValidation rejects unusable configs.
+func TestValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Targets = nil
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("empty targets accepted")
+	}
+	cfg = testConfig(t)
+	cfg.Epochs = 0
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	cfg = testConfig(t)
+	cfg.Sampler = nil
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+// TestDefaultPrefetchClamps covers the process-wide setting.
+func TestDefaultPrefetchClamps(t *testing.T) {
+	prev := DefaultPrefetch()
+	defer SetDefaultPrefetch(prev)
+	SetDefaultPrefetch(-5)
+	if got := DefaultPrefetch(); got != 0 {
+		t.Errorf("negative clamped to %d, want 0", got)
+	}
+	SetDefaultPrefetch(1 << 20)
+	if got := DefaultPrefetch(); got != maxPrefetch {
+		t.Errorf("huge clamped to %d, want %d", got, maxPrefetch)
+	}
+	SetDefaultPrefetch(4)
+	if got := DefaultPrefetch(); got != 4 {
+		t.Errorf("DefaultPrefetch = %d, want 4", got)
+	}
+}
+
+// TestBatchSeedDecorrelated: neighboring coordinates must not produce
+// neighboring streams (a weak mix here would correlate batch draws).
+func TestBatchSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for epoch := 0; epoch < 8; epoch++ {
+		for b := -1; b < 32; b++ {
+			s := sample.BatchSeed(42, epoch, b)
+			if seen[s] {
+				t.Fatalf("seed collision at (42,%d,%d)", epoch, b)
+			}
+			seen[s] = true
+		}
+	}
+	// First draws across batch indices should look uniform, not striped.
+	var mean float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		mean += sample.BatchRNG(1, 0, i).Float64()
+	}
+	mean /= n
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("first-draw mean %v, want ~0.5", mean)
+	}
+}

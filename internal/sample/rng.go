@@ -1,0 +1,48 @@
+package sample
+
+import "math/rand"
+
+// Per-batch RNG derivation.
+//
+// The serial epoch loop used to thread one shared *rand.Rand through every
+// Sample call, which made each batch's draws depend on every batch sampled
+// before it — impossible to overlap with compute without changing results.
+// Deriving an independent stream from (seed, epoch, batchIndex) instead
+// makes each batch's randomness a pure function of its coordinates, so a
+// prefetch pipeline that samples batch i+k while batch i trains produces
+// draws bitwise-identical to the inline loop at any depth.
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix whose
+// output streams pass BigCrush. Used here purely to decorrelate nearby
+// (seed, epoch, batch) coordinates.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BatchSeed mixes a run seed with an (epoch, batch) coordinate into an
+// independent stream seed. batch -1 is reserved for the epoch-level stream
+// (shuffling); batches count from 0.
+func BatchSeed(seed int64, epoch, batch int) int64 {
+	// Sequential absorption (hash, add, hash) rather than XOR of hashes:
+	// XOR commutes, which would collide (seed, epoch) with (epoch, seed).
+	z := splitmix64(uint64(seed))
+	z = splitmix64(z + 0x9e3779b97f4a7c15*uint64(int64(epoch)+1))
+	z = splitmix64(z + 0xbf58476d1ce4e5b9*uint64(int64(batch)+2))
+	return int64(z)
+}
+
+// BatchRNG returns the deterministic RNG for one mini-batch: a pure
+// function of (seed, epoch, batch), independent of how many draws any
+// other batch consumed.
+func BatchRNG(seed int64, epoch, batch int) *rand.Rand {
+	return rand.New(rand.NewSource(BatchSeed(seed, epoch, batch)))
+}
+
+// EpochRNG returns the deterministic RNG for epoch-level decisions (the
+// target shuffle feeding EpochBatches).
+func EpochRNG(seed int64, epoch int) *rand.Rand {
+	return BatchRNG(seed, epoch, -1)
+}

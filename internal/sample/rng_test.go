@@ -1,0 +1,92 @@
+package sample
+
+import "testing"
+
+// TestBatchRNGPureFunction: the same coordinates always yield the same
+// stream — the property that makes pipelined sampling order-independent.
+func TestBatchRNGPureFunction(t *testing.T) {
+	a := BatchRNG(7, 3, 11)
+	b := BatchRNG(7, 3, 11)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same coordinates diverged at draw %d", i)
+		}
+	}
+}
+
+// TestBatchRNGIndependentOfConsumption: draws for batch (e, i) must not
+// change however many draws other batches consumed — unlike the old
+// shared trainRng.
+func TestBatchRNGIndependentOfConsumption(t *testing.T) {
+	want := BatchRNG(7, 1, 5).Int63()
+	// Consume wildly different amounts from neighbors first.
+	r := BatchRNG(7, 1, 4)
+	for i := 0; i < 1000; i++ {
+		r.Int63()
+	}
+	if got := BatchRNG(7, 1, 5).Int63(); got != want {
+		t.Errorf("batch (1,5) draw changed after neighbor consumption: %d vs %d", got, want)
+	}
+}
+
+// TestBatchSeedDistinct: distinct coordinates get distinct seeds across
+// seeds, epochs and batch indices (including the epoch stream at -1).
+func TestBatchSeedDistinct(t *testing.T) {
+	seen := map[int64][3]int{}
+	for _, seed := range []int64{0, 1, 42, -9} {
+		for epoch := 0; epoch < 5; epoch++ {
+			for batch := -1; batch < 20; batch++ {
+				s := BatchSeed(seed, epoch, batch)
+				if prev, ok := seen[s]; ok {
+					t.Fatalf("collision: (%d,%d,%d) and %v", seed, epoch, batch, prev)
+				}
+				seen[s] = [3]int{int(seed), epoch, batch}
+			}
+		}
+	}
+}
+
+// TestEpochBatchesCoverAllTargets: the shuffle plan partitions targets.
+func TestEpochBatchesCoverAllTargets(t *testing.T) {
+	targets := make([]int32, 103)
+	for i := range targets {
+		targets[i] = int32(i)
+	}
+	batches := EpochBatches(EpochRNG(3, 0), targets, 10)
+	if len(batches) != 11 {
+		t.Fatalf("got %d batches, want 11", len(batches))
+	}
+	seen := map[int32]bool{}
+	for _, b := range batches {
+		for _, v := range b {
+			if seen[v] {
+				t.Fatalf("vertex %d appears twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != len(targets) {
+		t.Fatalf("covered %d of %d targets", len(seen), len(targets))
+	}
+	// Same epoch stream, same plan.
+	again := EpochBatches(EpochRNG(3, 0), targets, 10)
+	for i := range batches {
+		for j := range batches[i] {
+			if batches[i][j] != again[i][j] {
+				t.Fatal("same epoch stream produced a different shuffle")
+			}
+		}
+	}
+	// Different epochs shuffle differently.
+	other := EpochBatches(EpochRNG(3, 1), targets, 10)
+	same := true
+	for i := range batches[0] {
+		if batches[0][i] != other[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("epochs 0 and 1 produced identical shuffles")
+	}
+}

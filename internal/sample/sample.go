@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/tensor"
@@ -118,7 +118,11 @@ type BiasFunc func(v int32) float64
 // fully bias-driven (1) selection — this realizes the paper's p(η).
 //
 // The sampler owns reusable neighbor-selection scratch, so a NodeWise
-// value must not be shared across concurrent Sample calls.
+// value must not be shared across concurrent Sample calls. In the
+// pipelined engine (internal/pipeline) every Sample call happens on the
+// single sampler-stage goroutine, which satisfies this contract; the
+// scratch never leaks into the returned MiniBatch, so batches handed
+// downstream stay valid while later batches are sampled.
 type NodeWise struct {
 	Fanouts      []int
 	Bias         BiasFunc
@@ -324,7 +328,7 @@ func expandLayerWise(rng *rand.Rand, g *graph.Graph, dst []int32, delta int) Blo
 	for v := range weight {
 		vs = append(vs, v)
 	}
-	sortInt32s(vs)
+	slices.Sort(vs)
 	cands := make([]cand, 0, len(weight))
 	for _, v := range vs {
 		// Efraimidis–Spirakis: key = U^(1/w); take top delta keys.
@@ -472,7 +476,10 @@ func AnalyticBatchSize(b0 int, fanouts []int, tau float64) float64 {
 }
 
 // EpochBatches splits train vertices into shuffled batches of size b0. The
-// final short batch is kept (PyTorch's drop_last=False behaviour).
+// final short batch is kept (PyTorch's drop_last=False behaviour). Callers
+// derive rng per epoch (EpochRNG) rather than threading one shared stream
+// across epochs, so the shuffle for epoch e is independent of every other
+// epoch's draws.
 func EpochBatches(rng *rand.Rand, train []int32, b0 int) [][]int32 {
 	if b0 <= 0 {
 		b0 = len(train)
@@ -489,10 +496,6 @@ func EpochBatches(rng *rand.Rand, train []int32, b0 int) [][]int32 {
 		out = append(out, perm[start:end])
 	}
 	return out
-}
-
-func sortInt32s(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 func dedup(vs []int32) []int32 {
