@@ -8,6 +8,10 @@
 //
 // Experiments: fig1a, fig1b, fig5, fig6, table1, table2,
 // ablation-pruning, ablation-cache, ablation-pipeline, all.
+//
+// Perf tooling: -parallel-bench, -pipeline-bench and -sample-bench write
+// the BENCH_*.json trajectory files; -cpuprofile/-memprofile capture
+// pprof profiles of whichever mode runs.
 package main
 
 import (
@@ -16,6 +20,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gnnavigator/internal/experiments"
@@ -43,6 +49,10 @@ func main() {
 		parOut   = flag.String("parallel-out", "BENCH_parallel.json", "output path for -parallel-bench")
 		pipBench = flag.Bool("pipeline-bench", false, "measure serial vs prefetch-1/2/4 epoch times and write BENCH_pipeline.json")
 		pipOut   = flag.String("pipeline-out", "BENCH_pipeline.json", "output path for -pipeline-bench")
+		smpBench = flag.Bool("sample-bench", false, "measure map-based vs frontier-table sampler throughput and write BENCH_sample.json")
+		smpOut   = flag.String("sample-out", "BENCH_sample.json", "output path for -sample-bench")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -54,21 +64,59 @@ func main() {
 	if *prefetch != 0 {
 		pipeline.SetDefaultPrefetch(*prefetch)
 	}
-	if *parBench {
-		if err := runParallelBench(*parOut); err != nil {
-			log.Fatalf("parallel-bench: %v", err)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
 		}
-		return
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
 	}
-	if *pipBench {
-		if err := runPipelineBench(*pipOut); err != nil {
-			log.Fatalf("pipeline-bench: %v", err)
+	err := dispatch(*exp, *full, *parBench, *parOut, *pipBench, *pipOut, *smpBench, *smpOut)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			log.Fatalf("memprofile: %v", ferr)
 		}
-		return
+		runtime.GC() // settle heap so the profile shows retained memory
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			log.Fatalf("memprofile: %v", werr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dispatch runs exactly one benchtab mode; profiles (if any) bracket it.
+func dispatch(exp string, full, parBench bool, parOut string, pipBench bool, pipOut string, smpBench bool, smpOut string) error {
+	if parBench {
+		if err := runParallelBench(parOut); err != nil {
+			return fmt.Errorf("parallel-bench: %w", err)
+		}
+		return nil
+	}
+	if pipBench {
+		if err := runPipelineBench(pipOut); err != nil {
+			return fmt.Errorf("pipeline-bench: %w", err)
+		}
+		return nil
+	}
+	if smpBench {
+		if err := runSampleBench(smpOut); err != nil {
+			return fmt.Errorf("sample-bench: %w", err)
+		}
+		return nil
 	}
 
 	fidelity := experiments.Quick
-	if *full {
+	if full {
 		fidelity = experiments.Full
 	}
 	all := []struct {
@@ -88,17 +136,18 @@ func main() {
 
 	ran := false
 	for _, e := range all {
-		if *exp != "all" && *exp != e.name {
+		if exp != "all" && exp != e.name {
 			continue
 		}
 		ran = true
 		start := time.Now()
 		if err := e.run(os.Stdout, fidelity); err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Printf("[%s done in %.1fs]\n\n", e.name, time.Since(start).Seconds())
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q", *exp)
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return nil
 }

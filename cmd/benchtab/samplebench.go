@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/sample"
+)
+
+// SampleBenchEntry is one workload row of BENCH_sample.json: the frozen
+// map-based batch assembly vs the epoch-stamped frontier path, same
+// sampler parameters, same target plan, same RNG discipline. The two
+// paths produce bitwise-identical mini-batches (the equivalence tests
+// enforce it), so rows differ in throughput and allocation only.
+type SampleBenchEntry struct {
+	Name   string `json:"name"`
+	Mode   string `json:"mode"`
+	Params string `json:"params"`
+
+	BatchesPerSecMap     float64 `json:"batches_per_sec_map"`
+	BatchesPerSecStamped float64 `json:"batches_per_sec_stamped"`
+	Speedup              float64 `json:"speedup"`
+
+	AllocsPerOpMap     float64 `json:"allocs_per_op_map"`
+	AllocsPerOpStamped float64 `json:"allocs_per_op_stamped"`
+
+	MeanBatchVertices float64 `json:"mean_batch_vertices"`
+}
+
+// SampleBenchReport is the whole BENCH_sample.json document.
+type SampleBenchReport struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Dataset    string             `json:"dataset"`
+	BatchSize  int                `json:"batch_size"`
+	Entries    []SampleBenchEntry `json:"entries"`
+}
+
+// measureSampler drives s over the batch plan until enough wall time has
+// accumulated, returning batches/sec, allocs per Sample call, and the
+// mean batch vertex count. One long-lived RNG stream feeds every call so
+// the measurement charges the sampler, not rand.New; sampling is a
+// single-goroutine producer stage, so this is deliberately serial.
+func measureSampler(s sample.Sampler, g *graph.Graph, plan [][]int32) (bps, allocs, meanV float64) {
+	rng := rand.New(rand.NewSource(17))
+	var sumV int
+	for _, tg := range plan { // warm up scratch to steady state
+		sumV += s.Sample(rng, g, tg).NumVertices
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 700*time.Millisecond || n < 2*len(plan) {
+		for _, tg := range plan {
+			s.Sample(rng, g, tg)
+			n++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return float64(n) / elapsed,
+		float64(after.Mallocs-before.Mallocs) / float64(n),
+		float64(sumV) / float64(len(plan))
+}
+
+// runSampleBench measures map-path vs stamped-path sampler throughput on
+// the scaled ogbn-arxiv stand-in, per sampler mode × fanout, and writes
+// BENCH_sample.json.
+func runSampleBench(outPath string) error {
+	const batchSize = 1024
+	ds, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		return err
+	}
+	g := ds.Graph
+	plan := sample.EpochBatches(sample.EpochRNG(1, 0), ds.TrainIdx, batchSize)
+
+	workloads := []struct {
+		name, mode, params string
+		sampler            sample.Sampler
+	}{
+		{"NodeWise/f=10,5", "node-wise", "fanouts=[10 5]",
+			&sample.NodeWise{Fanouts: []int{10, 5}}},
+		{"NodeWise/f=25,10", "node-wise", "fanouts=[25 10]",
+			&sample.NodeWise{Fanouts: []int{25, 10}}},
+		{"NodeWise/f=15,10,5", "node-wise", "fanouts=[15 10 5]",
+			&sample.NodeWise{Fanouts: []int{15, 10, 5}}},
+		{"LayerWise/d=512,256", "layer-wise", "deltas=[512 256]",
+			&sample.LayerWise{Deltas: []int{512, 256}}},
+		{"SubgraphWise/w=4", "subgraph-wise", "walk=4 layers=2",
+			&sample.SubgraphWise{WalkLength: 4, Layers: 2}},
+	}
+
+	report := SampleBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    ds.Name,
+		BatchSize:  batchSize,
+	}
+	for _, w := range workloads {
+		ref := sample.NewMapReference(w.sampler)
+		if ref == nil {
+			return fmt.Errorf("sample-bench: no map reference for %s", w.name)
+		}
+		mapBps, mapAllocs, meanV := measureSampler(ref, g, plan)
+		stampBps, stampAllocs, _ := measureSampler(w.sampler, g, plan)
+		e := SampleBenchEntry{
+			Name:                 w.name,
+			Mode:                 w.mode,
+			Params:               w.params,
+			BatchesPerSecMap:     mapBps,
+			BatchesPerSecStamped: stampBps,
+			Speedup:              stampBps / mapBps,
+			AllocsPerOpMap:       mapAllocs,
+			AllocsPerOpStamped:   stampAllocs,
+			MeanBatchVertices:    meanV,
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-22s map %8.1f b/s (%6.0f allocs)   stamped %8.1f b/s (%4.1f allocs)   %.2fx\n",
+			w.name, mapBps, mapAllocs, stampBps, stampAllocs, e.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}

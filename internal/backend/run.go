@@ -246,11 +246,16 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		}
 		return nil
 	}
+	// One eval sampler for the whole run: per-epoch validation reuses its
+	// frontier tables and pick scratch instead of regrowing them from
+	// scratch every epoch. Each Evaluate call is a fresh pipeline run, so
+	// the single-producer contract still holds.
+	evalSmp := evalSampler(cfg.Layers)
 	epochEnd := func(epoch int) error {
 		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
 		timings = timings[:0]
 		if !opts.SkipTraining {
-			acc, err := EvaluateWith(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch)
+			acc, err := evaluateWith(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch, evalSmp)
 			if err != nil {
 				return err
 			}
@@ -412,6 +417,18 @@ func paramsAtFullScale(m *model.Model, ds *dataset.Dataset, cfg Config) int {
 	return p + max(delta, 0)
 }
 
+// evalSampler builds the deterministic node-wise sampler Evaluate uses:
+// generous fanout 15 per layer. Callers that evaluate repeatedly (the
+// per-epoch validation in RunWith) hold one instance so its frontier
+// tables and pick scratch persist across epochs.
+func evalSampler(layers int) *sample.NodeWise {
+	fanouts := make([]int, layers)
+	for i := range fanouts {
+		fanouts[i] = 15
+	}
+	return &sample.NodeWise{Fanouts: fanouts}
+}
+
 // Evaluate measures accuracy of mdl on the given vertices using a
 // deterministic node-wise sampler with generous fanouts, at the
 // process-wide default prefetch depth.
@@ -423,21 +440,21 @@ func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int
 // prefetch depth: sampling and feature gather for chunk i+1 overlap the
 // forward pass for chunk i. Results are bitwise-identical at any depth.
 func EvaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
+	return evaluateWith(mdl, g, idx, limit, seed, prefetch, evalSampler(mdl.Cfg().Layers))
+}
+
+func evaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int, smp *sample.NodeWise) (float64, error) {
 	if len(idx) == 0 {
 		return 0, fmt.Errorf("backend: empty evaluation set")
 	}
 	if limit > 0 && limit < len(idx) {
 		idx = idx[:limit]
 	}
-	fanouts := make([]int, mdl.Cfg().Layers)
-	for i := range fanouts {
-		fanouts[i] = 15
-	}
 	ws := mdl.Workspace()
 	var correct, total int
 	err := pipeline.Run(pipeline.Config{
 		Graph:     g,
-		Sampler:   &sample.NodeWise{Fanouts: fanouts},
+		Sampler:   smp,
 		Seed:      seed,
 		Epochs:    1,
 		BatchSize: 512,

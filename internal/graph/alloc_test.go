@@ -1,0 +1,43 @@
+//go:build !race
+
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInducedSubgraphWithAllocBound pins the steady-state allocation
+// count of a scratch-reusing induction: only what the returned Graph
+// keeps (offsets, adj, the struct, its Name) may allocate — the remap
+// table must not. Guarded !race because the race runtime adds
+// bookkeeping allocations.
+func TestInducedSubgraphWithAllocBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	adj := make([][]int32, 300)
+	for v := range adj {
+		for d := 0; d < 6; d++ {
+			adj[v] = append(adj[v], int32(rng.Intn(len(adj))))
+		}
+	}
+	g, err := FromAdjList(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verts := make([]int32, 50)
+	for i := range verts {
+		verts[i] = int32(i * 5)
+	}
+	var f Frontier
+	if _, err := g.InducedSubgraphWith(verts, &f); err != nil { // warm up
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := g.InducedSubgraphWith(verts, &f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 6 {
+		t.Errorf("InducedSubgraphWith steady-state allocs/op = %v, want <= 6", got)
+	}
+}

@@ -9,10 +9,11 @@
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Graph is an immutable CSR adjacency structure.
@@ -174,7 +175,7 @@ func (g *Graph) Stats() DegreeStats {
 		alpha = 1 + float64(np)/lnSum
 	}
 
-	sort.Ints(degs)
+	slices.Sort(degs)
 	// Gini = sum_i (2i - n - 1) d_i / (n * sum d).
 	var gini float64
 	for i, d := range degs {
@@ -198,12 +199,11 @@ func (g *Graph) DegreeOrder() []int32 {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(order, func(a, b int32) int {
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return cmp.Compare(db, da)
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 	return order
 }
@@ -212,6 +212,12 @@ func (g *Graph) DegreeOrder() []int32 {
 // them 0..len(vertices)-1 in input order. Edges whose endpoint is outside
 // the vertex set are dropped. Features and labels are gathered when
 // present. Duplicate input vertices are an error.
+//
+// This one-shot form keeps an O(len(vertices)) hash map: a small vertex
+// set on a huge graph should not pay for |V|-length scratch arrays. Call
+// sites that induce repeatedly should hold a Frontier and use
+// InducedSubgraphWith, whose dense table amortizes to zero per call.
+// Both forms produce identical graphs (no iteration-order dependence).
 func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, error) {
 	remap := make(map[int32]int32, len(vertices))
 	for i, v := range vertices {
@@ -234,6 +240,43 @@ func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, error) {
 		}
 	}
 	offsets[len(vertices)] = int64(len(adj))
+	return g.finishInduced(vertices, offsets, adj)
+}
+
+// InducedSubgraphWith is InducedSubgraph with a caller-owned
+// epoch-stamped remap table, for call sites that induce repeatedly
+// (dataset scaling sweeps, SAINT-style epochs): the table resets by
+// epoch bump instead of rebuilding a hash map per call, and the adjacency
+// is pre-sized to the vertex set's total degree.
+func (g *Graph) InducedSubgraphWith(vertices []int32, remap *Frontier) (*Graph, error) {
+	remap.Reset(g.NumVertices())
+	var bound int64
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.NumVertices() {
+			return nil, fmt.Errorf("graph: induced subgraph vertex %d out of range", v)
+		}
+		if _, dup := remap.PosOrInsert(v, int32(i)); dup {
+			return nil, fmt.Errorf("graph: duplicate vertex %d in induced subgraph", v)
+		}
+		bound += int64(g.Degree(v))
+	}
+	offsets := make([]int64, len(vertices)+1)
+	adj := make([]int32, 0, bound)
+	for i, v := range vertices {
+		offsets[i] = int64(len(adj))
+		for _, u := range g.Neighbors(v) {
+			if lu, ok := remap.Pos(u); ok {
+				adj = append(adj, lu)
+			}
+		}
+	}
+	offsets[len(vertices)] = int64(len(adj))
+	return g.finishInduced(vertices, offsets, adj)
+}
+
+// finishInduced wraps induced CSR arrays into a Graph and gathers
+// features/labels; shared tail of both induction forms.
+func (g *Graph) finishInduced(vertices []int32, offsets []int64, adj []int32) (*Graph, error) {
 	sub, err := NewCSR(offsets, adj)
 	if err != nil {
 		return nil, err

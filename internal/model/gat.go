@@ -37,7 +37,11 @@ type gatLayer struct {
 
 	ws *tensor.Workspace
 
-	// forward caches
+	// forward caches. alpha/pre live in the workspace arena (one Get per
+	// head per Forward), not on the layer: they are per-iteration
+	// intermediates, valid from Forward through Backward until the
+	// trainer's ReleaseAll, and arena-backed buffers are shared across
+	// layers and batch sizes instead of pinned per layer.
 	blk   *sample.Block
 	h     *tensor.Dense
 	z     []*tensor.Dense // per head, src×perHead
@@ -80,21 +84,27 @@ func newGATLayer(rng *rand.Rand, name string, in, out, heads int) (*gatLayer, er
 func (l *gatLayer) setWorkspace(ws *tensor.Workspace) { l.ws = ws }
 
 // buildEdges materializes the attention edge list: sampled neighbors plus a
-// self edge per destination.
+// self edge per destination. The edge count is known exactly up front
+// (one self edge per dst plus every sampled index), so the buffers are
+// sized once and filled by position — no append growth in the hot path.
 func (l *gatLayer) buildEdges(blk *sample.Block) {
-	l.edgeSrc = l.edgeSrc[:0]
-	l.edgeDst = l.edgeDst[:0]
+	n := blk.DstCount + len(blk.Indices)
+	l.edgeSrc = tensor.Grow(l.edgeSrc, n)
+	l.edgeDst = tensor.Grow(l.edgeDst, n)
 	l.dstOff = tensor.Grow(l.dstOff, blk.DstCount+1)
+	e := 0
 	for i := 0; i < blk.DstCount; i++ {
-		l.dstOff[i] = int32(len(l.edgeSrc))
-		l.edgeSrc = append(l.edgeSrc, int32(i)) // self
-		l.edgeDst = append(l.edgeDst, int32(i))
+		l.dstOff[i] = int32(e)
+		l.edgeSrc[e] = int32(i) // self
+		l.edgeDst[e] = int32(i)
+		e++
 		for _, ix := range blk.Indices[blk.Offsets[i]:blk.Offsets[i+1]] {
-			l.edgeSrc = append(l.edgeSrc, ix)
-			l.edgeDst = append(l.edgeDst, int32(i))
+			l.edgeSrc[e] = ix
+			l.edgeDst[e] = int32(i)
+			e++
 		}
 	}
-	l.dstOff[blk.DstCount] = int32(len(l.edgeSrc))
+	l.dstOff[blk.DstCount] = int32(e)
 }
 
 func (l *gatLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
@@ -136,8 +146,8 @@ func (l *gatLayer) Forward(blk *sample.Block, h *tensor.Dense) *tensor.Dense {
 				sDst[r] = s
 			}
 		})
-		l.pre[hd] = tensor.Grow(l.pre[hd], nEdges)
-		l.alpha[hd] = tensor.Grow(l.alpha[hd], nEdges)
+		l.pre[hd] = l.ws.Get(1, nEdges).Data
+		l.alpha[hd] = l.ws.Get(1, nEdges).Data
 		pre, alpha := l.pre[hd], l.alpha[hd]
 		// Scores, per-dst softmax and the weighted sum shard over dst
 		// ranges: dst i owns edges [dstOff[i], dstOff[i+1]) and output

@@ -27,6 +27,14 @@
 // engine's output bitwise-identical at every prefetch depth, including
 // the Prefetch=0 inline path, which runs the same stage functions
 // synchronously with zero goroutines.
+//
+// Scratch contract: the engine invokes Config.Sampler.Sample from exactly
+// one goroutine per run (the sampler stage, or the fused producer), so
+// samplers may keep mutable per-stage scratch — the epoch-stamped
+// frontier tables and pick buffers of internal/sample — across batches
+// without locking. Scratch must never leak into the returned MiniBatch;
+// the returned slices stay valid while the producer runs up to Prefetch
+// batches ahead.
 package pipeline
 
 import (

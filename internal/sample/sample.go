@@ -7,6 +7,14 @@
 // expectation), subgraph-wise (GraphSAINT random walks), and
 // locality-aware biased sampling (2PGraph, where p(η) favors
 // device-cached vertices).
+//
+// Batch assembly is map-free: vertex dedup and global→local position
+// remapping run on epoch-stamped dense frontier tables (Frontier) owned
+// by each sampler, and every slice a MiniBatch keeps is pre-sized to its
+// exact upper bound. Steady state, a Sample call performs no hashing and
+// allocates only the slices it returns; mapref.go freezes the old
+// hash-map implementation, and the equivalence tests pin both paths to
+// bitwise-identical output.
 package sample
 
 import (
@@ -110,6 +118,28 @@ type Sampler interface {
 // template wires cache residency in here.
 type BiasFunc func(v int32) float64
 
+// Frontier is the epoch-stamped dense vertex table (graph.Frontier) that
+// replaced every hash map in the batch-assembly hot path: membership is
+// stamp[v] == epoch, lookup is one array read, and reset is an epoch
+// bump. Each sampler owns the Frontier scratch it needs, one per pipeline
+// producer stage, so steady-state sampling performs no hashing and no
+// per-batch table allocation.
+type Frontier = graph.Frontier
+
+// dedupWith writes the distinct elements of vs into buf (reused across
+// calls) in first-occurrence order, using fr as the membership table over
+// vertex ids in [0, n). The returned slice aliases buf's storage.
+func dedupWith(fr *Frontier, n int, buf, vs []int32) []int32 {
+	fr.Reset(n)
+	out := tensor.Grow(buf, len(vs))[:0]
+	for _, v := range vs {
+		if _, seen := fr.PosOrInsert(v, 0); !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // --- node-wise (GraphSAGE) -------------------------------------------------
 
 // NodeWise samples Fanouts[h] neighbors per destination at hop h from the
@@ -117,18 +147,21 @@ type BiasFunc func(v int32) float64
 // choice, with BiasStrength in [0,1] interpolating between uniform (0) and
 // fully bias-driven (1) selection — this realizes the paper's p(η).
 //
-// The sampler owns reusable neighbor-selection scratch, so a NodeWise
-// value must not be shared across concurrent Sample calls. In the
-// pipelined engine (internal/pipeline) every Sample call happens on the
-// single sampler-stage goroutine, which satisfies this contract; the
-// scratch never leaks into the returned MiniBatch, so batches handed
-// downstream stay valid while later batches are sampled.
+// The sampler owns reusable scratch (neighbor-selection buffers plus the
+// epoch-stamped Frontier position table), so a NodeWise value must not be
+// shared across concurrent Sample calls. In the pipelined engine
+// (internal/pipeline) every Sample call happens on the single
+// sampler-stage goroutine, which satisfies this contract; the scratch
+// never leaks into the returned MiniBatch, so batches handed downstream
+// stay valid while later batches are sampled.
 type NodeWise struct {
 	Fanouts      []int
 	Bias         BiasFunc
 	BiasStrength float64
 
-	scratch pickScratch
+	scratch  pickScratch
+	frontier Frontier
+	dedupBuf []int32
 }
 
 // Name implements Sampler.
@@ -141,10 +174,11 @@ func (s *NodeWise) NumLayers() int { return len(s.Fanouts) }
 func (s *NodeWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *MiniBatch {
 	L := len(s.Fanouts)
 	blocks := make([]Block, L)
-	dst := dedup(targets)
+	dst := dedupWith(&s.frontier, g.NumVertices(), s.dedupBuf, targets)
+	s.dedupBuf = dst
 	var totalEdges int
 	for h := 0; h < L; h++ {
-		blk := expand(rng, g, dst, s.Fanouts[h], s.Bias, s.BiasStrength, &s.scratch)
+		blk := expand(rng, g, dst, s.Fanouts[h], s.Bias, s.BiasStrength, &s.scratch, &s.frontier)
 		blocks[L-1-h] = blk
 		totalEdges += blk.NumEdges()
 		dst = blk.SrcNodes
@@ -160,28 +194,46 @@ func (s *NodeWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *Mini
 }
 
 // expand builds one block: every dst samples up to fanout neighbors.
-func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFunc, biasStrength float64, sc *pickScratch) Block {
-	srcPos := make(map[int32]int32, len(dst)*2)
-	src := make([]int32, len(dst))
+// Position lookup runs on the epoch-stamped frontier table, and the three
+// output slices are pre-sized to their exact upper bounds (every dst
+// contributes at most fanout edges, each edge introduces at most one new
+// source), so a block costs exactly three allocations — the slices the
+// MiniBatch keeps — and zero hashing.
+func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFunc, biasStrength float64, sc *pickScratch, fr *Frontier) Block {
+	fr.Reset(g.NumVertices())
+	edgeBound := 0
+	if fanout > 0 {
+		edgeBound = len(dst) * fanout
+	} else {
+		for _, v := range dst {
+			edgeBound += g.Degree(v)
+		}
+	}
+	src := make([]int32, len(dst), len(dst)+edgeBound)
 	copy(src, dst)
 	for i, v := range dst {
-		srcPos[v] = int32(i)
+		fr.Set(v, int32(i))
 	}
 	offsets := make([]int32, len(dst)+1)
-	var indices []int32
+	indices := make([]int32, 0, edgeBound)
 	for i, v := range dst {
 		offsets[i] = int32(len(indices))
 		ns := g.Neighbors(v)
 		if len(ns) == 0 {
 			continue
 		}
-		picks := sc.pickNeighbors(rng, ns, fanout, bias, biasStrength)
+		// Whole neighborhood (fanout <= 0 or >= degree, the common case at
+		// small fanouts): no RNG is consumed and this loop only reads
+		// picks, so aliasing the graph's own CSR slice is safe and skips
+		// any defensive copy.
+		picks := ns
+		if fanout > 0 && fanout < len(ns) {
+			picks = sc.pickNeighbors(rng, ns, fanout, bias, biasStrength)
+		}
 		for _, u := range picks {
-			pos, ok := srcPos[u]
-			if !ok {
-				pos = int32(len(src))
+			pos, seen := fr.PosOrInsert(u, int32(len(src)))
+			if !seen {
 				src = append(src, u)
-				srcPos[u] = pos
 			}
 			indices = append(indices, pos)
 		}
@@ -196,27 +248,50 @@ func expand(rng *rand.Rand, g *graph.Graph, dst []int32, fanout int, bias BiasFu
 // requesting the next one.
 type pickScratch struct {
 	tmp     []int32
+	overlay Frontier // displaced-slot overlay for the sparse Fisher-Yates
 	weights []float64
 	taken   []bool
 	out     []int32
 }
 
-// pickNeighbors selects up to fanout neighbors without replacement. With a
-// bias, selection is a weighted draw where weight(u) = 1 + strength*bias(u).
-// The rng consumption is identical to the pre-scratch implementation, so
-// draws (and thus batches) are unchanged for a fixed seed.
+// pickNeighbors selects fanout neighbors without replacement; callers
+// must ensure 0 < fanout < len(ns) — taking the whole neighborhood
+// consumes no randomness, and expand handles it inline by aliasing the
+// CSR slice read-only. With a bias, selection is a weighted draw where
+// weight(u) = 1 + strength*bias(u). The rng consumption is identical to
+// the frozen map-reference implementation, so draws (and thus batches)
+// are unchanged for a fixed seed.
 func (sc *pickScratch) pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bias BiasFunc, strength float64) []int32 {
-	if fanout <= 0 || fanout >= len(ns) {
-		// Taking the whole neighborhood: copy into scratch (not an
-		// allocation after warm-up) rather than handing out the graph's
-		// own CSR slice, which a mutating caller could corrupt for the
-		// process-cached dataset.
-		sc.tmp = tensor.Grow(sc.tmp, len(ns))
-		copy(sc.tmp, ns)
-		return sc.tmp
-	}
 	if bias == nil || strength <= 0 {
-		// Partial Fisher-Yates over a scratch copy.
+		if len(ns) > 64 && len(ns) > 4*fanout {
+			// Hub neighborhoods: sparse partial Fisher-Yates. Draws and
+			// picks are bitwise-identical to shuffling a full copy of ns,
+			// but only the slots the shuffle actually displaces are
+			// materialized, in an epoch-stamped overlay indexed by
+			// neighbor position — O(fanout), not O(degree). Slot i is
+			// never read after draw i (j >= i always), so recording the
+			// swap's write to slot j alone suffices.
+			sc.overlay.Reset(len(ns))
+			out := tensor.Grow(sc.out, fanout)
+			sc.out = out
+			for i := 0; i < fanout; i++ {
+				j := i + rng.Intn(len(ns)-i)
+				vi := ns[i]
+				if p, ok := sc.overlay.Pos(int32(i)); ok {
+					vi = p
+				}
+				vj := ns[j]
+				if p, ok := sc.overlay.Pos(int32(j)); ok {
+					vj = p
+				}
+				out[i] = vj
+				sc.overlay.Set(int32(j), vi)
+			}
+			return out
+		}
+		// Typical neighborhoods: partial Fisher-Yates over a scratch copy.
+		// Below the hub threshold one small memcopy beats per-draw overlay
+		// bookkeeping.
 		sc.tmp = tensor.Grow(sc.tmp, len(ns))
 		tmp := sc.tmp
 		copy(tmp, ns)
@@ -268,9 +343,24 @@ func (sc *pickScratch) pickNeighbors(rng *rand.Rand, ns []int32, fanout int, bia
 // fixed budget Delta[h] of distinct vertices is drawn from the candidate
 // neighborhood with probability proportional to degree. Eq. 3 of the paper
 // shows this is the unified abstraction with E[k_l] = Δ_l/|B_l| · μ.
+//
+// Like NodeWise, the sampler owns reusable frontier/candidate scratch and
+// must not be shared across concurrent Sample calls.
 type LayerWise struct {
 	// Deltas[h] is the vertex budget at hop h from the targets.
 	Deltas []int
+
+	count    Frontier // candidate multiplicities, then the selected set
+	pos      Frontier // source position table
+	dedupBuf []int32
+	touched  []int32
+	cands    []lwCand
+}
+
+// lwCand pairs a candidate vertex with its Efraimidis–Spirakis key.
+type lwCand struct {
+	v   int32
+	key float64
 }
 
 // Name implements Sampler.
@@ -283,10 +373,11 @@ func (s *LayerWise) NumLayers() int { return len(s.Deltas) }
 func (s *LayerWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *MiniBatch {
 	L := len(s.Deltas)
 	blocks := make([]Block, L)
-	dst := dedup(targets)
+	dst := dedupWith(&s.count, g.NumVertices(), s.dedupBuf, targets)
+	s.dedupBuf = dst
 	var totalEdges int
 	for h := 0; h < L; h++ {
-		blk := expandLayerWise(rng, g, dst, s.Deltas[h])
+		blk := s.expand(rng, g, dst, s.Deltas[h])
 		blocks[L-1-h] = blk
 		totalEdges += blk.NumEdges()
 		dst = blk.SrcNodes
@@ -301,39 +392,39 @@ func (s *LayerWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *Min
 	return mb
 }
 
-func expandLayerWise(rng *rand.Rand, g *graph.Graph, dst []int32, delta int) Block {
+func (s *LayerWise) expand(rng *rand.Rand, g *graph.Graph, dst []int32, delta int) Block {
 	// Candidate pool: union of all dst neighborhoods, weighted by the
 	// number of dst vertices adjacent to each candidate (degree-importance).
-	weight := make(map[int32]int)
+	// The multiplicity lives in the stamped count table; the touched list
+	// records first-seen candidates so they can be revisited without map
+	// iteration. An edge bound for the final indices slice falls out of
+	// the same pass.
+	n := g.NumVertices()
+	s.count.Reset(n)
+	touched := s.touched[:0]
+	edgeBound := 0
 	for _, v := range dst {
+		edgeBound += g.Degree(v)
 		for _, u := range g.Neighbors(v) {
-			weight[u]++
+			if c, seen := s.count.PosOrInsert(u, 1); seen {
+				s.count.Set(u, c+1)
+			} else {
+				touched = append(touched, u)
+			}
 		}
-	}
-	srcPos := make(map[int32]int32, len(dst)+delta)
-	src := make([]int32, len(dst))
-	copy(src, dst)
-	for i, v := range dst {
-		srcPos[v] = int32(i)
 	}
 	// Weighted reservoir-ish draw of delta distinct candidates.
 	// Candidates are keyed in sorted vertex order so the rng consumption
-	// (and hence the draw) is deterministic for a fixed seed — map
-	// iteration order is randomized in Go.
-	type cand struct {
-		v   int32
-		key float64
-	}
-	vs := make([]int32, 0, len(weight))
-	for v := range weight {
-		vs = append(vs, v)
-	}
-	slices.Sort(vs)
-	cands := make([]cand, 0, len(weight))
-	for _, v := range vs {
+	// (and hence the draw) matches the frozen map reference, whose
+	// randomized map iteration forced the same sort.
+	slices.Sort(touched)
+	s.touched = touched
+	cands := tensor.Grow(s.cands, len(touched))
+	s.cands = cands
+	for i, v := range touched {
 		// Efraimidis–Spirakis: key = U^(1/w); take top delta keys.
-		key := math.Pow(rng.Float64(), 1/float64(weight[v]))
-		cands = append(cands, cand{v, key})
+		w, _ := s.count.Pos(v)
+		cands[i] = lwCand{v, math.Pow(rng.Float64(), 1/float64(w))}
 	}
 	// Partial selection of the top-delta keys.
 	if delta > len(cands) {
@@ -348,26 +439,33 @@ func expandLayerWise(rng *rand.Rand, g *graph.Graph, dst []int32, delta int) Blo
 		}
 		cands[i], cands[best] = cands[best], cands[i]
 	}
-	selected := make(map[int32]bool, delta)
+	// The counts are dead once the keys are drawn: recycle the count table
+	// as the selected-membership set.
+	selected := &s.count
+	selected.Reset(n)
 	for i := 0; i < delta; i++ {
-		selected[cands[i].v] = true
+		selected.Set(cands[i].v, 0)
 	}
 	for _, v := range dst { // dst vertices always usable as sources
-		selected[v] = true
+		selected.Set(v, 0)
+	}
+	s.pos.Reset(n)
+	src := make([]int32, len(dst), len(dst)+delta)
+	copy(src, dst)
+	for i, v := range dst {
+		s.pos.Set(v, int32(i))
 	}
 	offsets := make([]int32, len(dst)+1)
-	var indices []int32
+	indices := make([]int32, 0, edgeBound)
 	for i, v := range dst {
 		offsets[i] = int32(len(indices))
 		for _, u := range g.Neighbors(v) {
-			if !selected[u] {
+			if !selected.Has(u) {
 				continue
 			}
-			pos, ok := srcPos[u]
-			if !ok {
-				pos = int32(len(src))
+			pos, seen := s.pos.PosOrInsert(u, int32(len(src)))
+			if !seen {
 				src = append(src, u)
-				srcPos[u] = pos
 			}
 			indices = append(indices, pos)
 		}
@@ -383,10 +481,16 @@ func expandLayerWise(rng *rand.Rand, g *graph.Graph, dst []int32, delta int) Blo
 // induced subgraph is trained on directly. Per the paper's abstraction this
 // is node-wise sampling "with many more hops but a single neighbor fanout".
 // Layers blocks all share the induced adjacency.
+//
+// Like NodeWise, the sampler owns a reusable frontier table and must not
+// be shared across concurrent Sample calls.
 type SubgraphWise struct {
 	WalkLength int
 	// Layers is the number of GNN layers the batch will feed.
 	Layers int
+
+	frontier Frontier
+	dedupBuf []int32
 }
 
 // Name implements Sampler.
@@ -397,12 +501,17 @@ func (s *SubgraphWise) NumLayers() int { return s.Layers }
 
 // Sample implements Sampler.
 func (s *SubgraphWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *MiniBatch {
-	roots := dedup(targets)
-	inSet := make(map[int32]int32, len(roots)*(s.WalkLength+1))
+	n := g.NumVertices()
+	roots := dedupWith(&s.frontier, n, s.dedupBuf, targets)
+	s.dedupBuf = roots
+	// Walk-set membership and positions live in the frontier table; the
+	// walk can add at most WalkLength+1 distinct vertices per root, which
+	// pre-sizes the node list exactly.
+	inSet := &s.frontier
+	inSet.Reset(n)
 	nodes := make([]int32, 0, len(roots)*(s.WalkLength+1))
 	add := func(v int32) {
-		if _, ok := inSet[v]; !ok {
-			inSet[v] = int32(len(nodes))
+		if _, seen := inSet.PosOrInsert(v, int32(len(nodes))); !seen {
 			nodes = append(nodes, v)
 		}
 	}
@@ -420,13 +529,18 @@ func (s *SubgraphWise) Sample(rng *rand.Rand, g *graph.Graph, targets []int32) *
 	}
 	// Induced adjacency restricted to the walk set, with targets first —
 	// the dst prefix convention requires target rows up front, and `nodes`
-	// already begins with all roots.
+	// already begins with all roots. The walk set's total degree bounds
+	// the induced edge count, pre-sizing the indices slice.
+	edgeBound := 0
+	for _, v := range nodes {
+		edgeBound += g.Degree(v)
+	}
 	offsets := make([]int32, len(nodes)+1)
-	var indices []int32
+	indices := make([]int32, 0, edgeBound)
 	for i, v := range nodes {
 		offsets[i] = int32(len(indices))
 		for _, u := range g.Neighbors(v) {
-			if pos, ok := inSet[u]; ok {
+			if pos, ok := inSet.Pos(u); ok {
 				indices = append(indices, pos)
 			}
 		}
@@ -498,6 +612,9 @@ func EpochBatches(rng *rand.Rand, train []int32, b0 int) [][]int32 {
 	return out
 }
 
+// dedup is the one-shot map-based dedup, kept for tests and the frozen
+// map reference path (mapref.go); the samplers use dedupWith, which
+// reuses a frontier table and output buffer instead.
 func dedup(vs []int32) []int32 {
 	seen := make(map[int32]bool, len(vs))
 	out := make([]int32, 0, len(vs))
