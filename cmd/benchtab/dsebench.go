@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dse"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/tensor"
+)
+
+// DSEBenchEntry is one workload row of BENCH_dse.json: wall seconds per
+// fan-out width and speedup relative to the serial (1-worker) run. The
+// outputs themselves are verified identical across widths before any
+// number is reported, so rows differ in wall time only.
+type DSEBenchEntry struct {
+	Name    string          `json:"name"`
+	Unit    string          `json:"unit"`
+	Seconds map[int]float64 `json:"seconds_per_run"`
+	Speedup map[int]float64 `json:"speedup_vs_serial"`
+}
+
+// DSEBenchReport is the whole BENCH_dse.json document.
+type DSEBenchReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Workers    []int           `json:"workers"`
+	Entries    []DSEBenchEntry `json:"entries"`
+}
+
+// runDSEBench measures the two fan-outs of the navigate path — Step-2
+// design-space exploration (estimator.Predict per leaf config) and
+// Step-1 calibration collection (one full backend run per probe config)
+// — at several worker counts, and writes the serial-vs-parallel table.
+// Tensor kernels are pinned serial for the duration so the fan-out width
+// is the only axis being measured. quick shrinks the space, probe count
+// and worker set for CI smoke runs.
+func runDSEBench(outPath string, quick bool) error {
+	workerSet := []int{1, 2, 4}
+	probes := 6
+	reps := 2
+	if quick {
+		workerSet = []int{1, 2}
+		probes = 3
+		reps = 1
+	}
+
+	prevProcs := tensor.Parallelism()
+	tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prevProcs)
+
+	// Step-1 style calibration for the estimator the explorer queries
+	// (cached across benchtab invocations in the same process).
+	recs, err := estimator.CollectCached(dataset.OgbnArxiv, model.SAGE, "rtx4090", 24, 7, true)
+	if err != nil {
+		return err
+	}
+	est, err := estimator.Train(recs)
+	if err != nil {
+		return err
+	}
+
+	base := backend.Config{
+		Dataset:     dataset.Reddit2,
+		Platform:    "rtx4090",
+		Sampler:     backend.SamplerSAGE,
+		BatchSize:   1024,
+		Fanouts:     []int{25, 10},
+		CachePolicy: cache.None,
+		Model:       model.SAGE,
+		Hidden:      64,
+		Layers:      2,
+		Epochs:      2,
+		LR:          0.01,
+		Seed:        9,
+	}
+	space := dse.DefaultSpace()
+	spaceUnit := "default space"
+	if quick {
+		space = dse.Space{
+			Samplers:    []backend.SamplerKind{backend.SamplerSAGE},
+			BatchSizes:  []int{512, 1024},
+			FanoutSets:  [][]int{{5, 5}, {10, 5}},
+			CacheRatios: []float64{0, 0.15},
+			Policies:    []cache.Policy{cache.Static},
+			BiasRates:   []float64{0, 0.9},
+			Hiddens:     []int{32},
+		}
+		spaceUnit = "tiny space"
+	}
+
+	report := DSEBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workerSet,
+	}
+
+	// Step 2: Explore fan-out (the warm-up reference run also fills the
+	// dataset-stats and baseline-accuracy caches off the clock).
+	e, exploreRef, err := measureFanout("Explore", workerSet, reps,
+		func(workers int) (*dse.Result, float64, error) {
+			ex := &dse.Explorer{Est: est, Space: space, Workers: workers}
+			start := time.Now()
+			res, err := ex.Explore(base)
+			return res, time.Since(start).Seconds(), err
+		},
+		func(a, b *dse.Result) bool { return reflect.DeepEqual(a, b) })
+	if err != nil {
+		return err
+	}
+	e.Unit = fmt.Sprintf("reddit2 %s, %d leaf evals", spaceUnit, exploreRef.Evaluated)
+	finishEntry(&report, e, workerSet)
+
+	// Step 1: Collect fan-out.
+	cfgs := estimator.ProbeConfigs(dataset.OgbnArxiv, model.SAGE, "rtx4090", probes, 1234)
+	c, _, err := measureFanout("Collect", workerSet, reps,
+		func(workers int) ([]estimator.Record, float64, error) {
+			start := time.Now()
+			recs, err := estimator.CollectWith(cfgs, false, workers)
+			return recs, time.Since(start).Seconds(), err
+		},
+		recordsEqual)
+	if err != nil {
+		return err
+	}
+	c.Unit = fmt.Sprintf("%d ogbn-arxiv probe runs, timing-only", probes)
+	finishEntry(&report, c, workerSet)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}
+
+// measureFanout runs one fan-out workload at each worker count under a
+// shared protocol: a warm-up run at workers=1 whose output is the
+// equivalence reference (returned for labeling), then best-of-reps
+// timings per width, each output checked identical to the reference
+// before its time counts. The caller fills Unit.
+func measureFanout[T any](name string, workerSet []int, reps int,
+	run func(workers int) (T, float64, error), eq func(a, b T) bool) (DSEBenchEntry, T, error) {
+	e := DSEBenchEntry{Name: name, Seconds: map[int]float64{}, Speedup: map[int]float64{}}
+	ref, _, err := run(1)
+	if err != nil {
+		return e, ref, err
+	}
+	for _, w := range workerSet {
+		best := 0.0
+		for rep := 0; rep < reps; rep++ {
+			out, el, err := run(w)
+			if err != nil {
+				return e, ref, err
+			}
+			if !eq(out, ref) {
+				return e, ref, fmt.Errorf("dse-bench: %s at %d workers diverged from serial", name, w)
+			}
+			if rep == 0 || el < best {
+				best = el
+			}
+		}
+		e.Seconds[w] = best
+	}
+	return e, ref, nil
+}
+
+// finishEntry derives the speedup column and prints the row.
+func finishEntry(report *DSEBenchReport, e DSEBenchEntry, workerSet []int) {
+	for _, w := range workerSet {
+		e.Speedup[w] = e.Seconds[workerSet[0]] / e.Seconds[w]
+	}
+	report.Entries = append(report.Entries, e)
+	fmt.Printf("%-10s", e.Name)
+	for _, w := range workerSet {
+		fmt.Printf("  w%d %.3gs (%.2fx)", w, e.Seconds[w], e.Speedup[w])
+	}
+	fmt.Println()
+}
+
+// recordsEqual compares calibration records modulo WallSec, the
+// documented host-wall-clock exception to worker-count invariance.
+func recordsEqual(a, b []estimator.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		pa, pb := *a[i].Perf, *b[i].Perf
+		pa.WallSec, pb.WallSec = 0, 0
+		if !reflect.DeepEqual(a[i].Cfg, b[i].Cfg) || a[i].Stats != b[i].Stats ||
+			!reflect.DeepEqual(pa, pb) {
+			return false
+		}
+	}
+	return true
+}

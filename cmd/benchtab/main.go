@@ -51,6 +51,9 @@ func main() {
 		pipOut   = flag.String("pipeline-out", "BENCH_pipeline.json", "output path for -pipeline-bench")
 		smpBench = flag.Bool("sample-bench", false, "measure map-based vs frontier-table sampler throughput and write BENCH_sample.json")
 		smpOut   = flag.String("sample-out", "BENCH_sample.json", "output path for -sample-bench")
+		dseBench = flag.Bool("dse-bench", false, "measure serial vs parallel design-space exploration + calibration collection and write BENCH_dse.json")
+		dseOut   = flag.String("dse-out", "BENCH_dse.json", "output path for -dse-bench")
+		dseQuick = flag.Bool("dse-quick", false, "shrink -dse-bench to a tiny space and {1,2} workers (CI smoke)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -74,7 +77,12 @@ func main() {
 			log.Fatalf("cpuprofile: %v", err)
 		}
 	}
-	err := dispatch(*exp, *full, *parBench, *parOut, *pipBench, *pipOut, *smpBench, *smpOut)
+	err := dispatch(*exp, *full, benchModes{
+		parBench: *parBench, parOut: *parOut,
+		pipBench: *pipBench, pipOut: *pipOut,
+		smpBench: *smpBench, smpOut: *smpOut,
+		dseBench: *dseBench, dseOut: *dseOut, dseQuick: *dseQuick,
+	})
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -94,23 +102,43 @@ func main() {
 	}
 }
 
+// benchModes bundles the perf-tooling flags so dispatch doesn't grow a
+// positional parameter triple per bench mode.
+type benchModes struct {
+	parBench bool
+	parOut   string
+	pipBench bool
+	pipOut   string
+	smpBench bool
+	smpOut   string
+	dseBench bool
+	dseOut   string
+	dseQuick bool
+}
+
 // dispatch runs exactly one benchtab mode; profiles (if any) bracket it.
-func dispatch(exp string, full, parBench bool, parOut string, pipBench bool, pipOut string, smpBench bool, smpOut string) error {
-	if parBench {
-		if err := runParallelBench(parOut); err != nil {
+func dispatch(exp string, full bool, m benchModes) error {
+	if m.parBench {
+		if err := runParallelBench(m.parOut); err != nil {
 			return fmt.Errorf("parallel-bench: %w", err)
 		}
 		return nil
 	}
-	if pipBench {
-		if err := runPipelineBench(pipOut); err != nil {
+	if m.pipBench {
+		if err := runPipelineBench(m.pipOut); err != nil {
 			return fmt.Errorf("pipeline-bench: %w", err)
 		}
 		return nil
 	}
-	if smpBench {
-		if err := runSampleBench(smpOut); err != nil {
+	if m.smpBench {
+		if err := runSampleBench(m.smpOut); err != nil {
 			return fmt.Errorf("sample-bench: %w", err)
+		}
+		return nil
+	}
+	if m.dseBench {
+		if err := runDSEBench(m.dseOut, m.dseQuick); err != nil {
+			return fmt.Errorf("dse-bench: %w", err)
 		}
 		return nil
 	}

@@ -87,7 +87,11 @@ func main() {
 		CalibSamples: *samples,
 		Epochs:       *epochs,
 		Prefetch:     *prefetch,
-		Seed:         *seed,
+		// -procs also governs the Navigator's coarse fan-outs (calibration
+		// runs, explorer predictions); 0 inherits the tensor default set
+		// above, so GNNAV_PROCS flows through end to end.
+		Parallelism: *procs,
+		Seed:        *seed,
 	})
 	if err != nil {
 		log.Fatalf("calibration failed: %v", err)

@@ -85,19 +85,32 @@ func (o Options) prefetchDepth() int {
 	}
 }
 
+// applyParallelism installs the Options.Parallelism override as the
+// process-wide tensor worker count and returns the restore function
+// (a no-op when no override is set). Callers that fan many runs out
+// concurrently (estimator.CollectWith) must hoist this around the whole
+// fan-out — apply once, clear the per-run field — rather than let each
+// run mutate the global setting; see tensor.WithParallelism.
+func (o Options) applyParallelism() (restore func()) {
+	return tensor.WithParallelism(o.Parallelism)
+}
+
 // Run executes cfg on the backend and returns its performance.
 func Run(cfg Config) (*Perf, error) { return RunWith(cfg, Options{}) }
 
 // RunWith executes cfg with explicit fidelity options.
+//
+// Concurrent RunWith calls are safe and deterministic — each run owns
+// its sampler, cache, model, workspace and RNG chain, and the shared
+// dataset/profile/baseline memoizations are locked — provided at most
+// one distinct Options.Parallelism override is active at a time (see
+// applyParallelism). The Step-1 calibration fan-out relies on this.
 func RunWith(cfg Config, opts Options) (*Perf, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Parallelism > 0 {
-		prev := tensor.Parallelism()
-		tensor.SetParallelism(opts.Parallelism)
-		defer tensor.SetParallelism(prev)
-	}
+	restore := opts.applyParallelism()
+	defer restore()
 	start := time.Now()
 	ds, err := dataset.Load(cfg.Dataset)
 	if err != nil {

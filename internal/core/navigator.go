@@ -59,6 +59,16 @@ type Input struct {
 	// results, so this is purely a wall-clock knob.
 	Prefetch int
 
+	// Parallelism bounds the Navigator's coarse-grained fan-outs: the
+	// concurrent calibration profiling runs of Step 1
+	// (estimator.CollectWith) and the concurrent estimator predictions of
+	// Step 2 (dse.Explorer.Workers). 0 = the process-wide tensor worker
+	// default (GOMAXPROCS / $GNNAV_PROCS / -procs), 1 = serial. Every
+	// fan-out is index-stamped, so Guidelines and calibration records are
+	// bitwise-identical at any value — like Prefetch, this is purely a
+	// wall-clock knob.
+	Parallelism int
+
 	Seed int64
 }
 
@@ -111,7 +121,11 @@ func New(in Input) (*Navigator, error) {
 	if in.LR == 0 {
 		in.LR = 0.01
 	}
-	if in.Space.Size() <= 1 && len(in.Space.BatchSizes) == 0 {
+	// Only a genuinely absent Space falls back to the default grid. The
+	// old heuristic (Size() <= 1 && no BatchSizes) also matched legitimate
+	// single-point spaces — e.g. a user pinning everything but CacheRatios
+	// — and silently explored the full DefaultSpace instead.
+	if in.Space.IsZero() {
 		in.Space = dse.DefaultSpace()
 	}
 	if len(in.CalibDatasets) == 0 {
@@ -129,8 +143,8 @@ func New(in Input) (*Navigator, error) {
 
 	var records []estimator.Record
 	for i, name := range in.CalibDatasets {
-		recs, err := estimator.CollectCached(name, in.Model, in.Platform,
-			in.CalibSamples, in.Seed+int64(i)*101, true,
+		recs, err := estimator.CollectCachedWith(name, in.Model, in.Platform,
+			in.CalibSamples, in.Seed+int64(i)*101, true, in.Parallelism,
 			backend.Options{Prefetch: in.Prefetch})
 		if err != nil {
 			return nil, fmt.Errorf("core: calibration on %s: %w", name, err)
@@ -188,7 +202,8 @@ func augment(in Input) ([]estimator.Record, error) {
 			d = d2
 		}
 		cfgs := estimator.ProbeConfigs(d.Name, in.Model, in.Platform, 4, in.Seed+int64(i)*7)
-		recs, err := estimator.Collect(cfgs, false, backend.Options{Prefetch: in.Prefetch})
+		recs, err := estimator.CollectWith(cfgs, false, in.Parallelism,
+			backend.Options{Prefetch: in.Prefetch})
 		if err != nil {
 			return nil, err
 		}
@@ -216,9 +231,16 @@ func (n *Navigator) Estimator() *estimator.Estimator { return n.est }
 // the Space varies the rest).
 func (n *Navigator) BaseConfig() backend.Config { return n.base }
 
-// Explore performs Step 2: automatic guideline generation.
+// Explore performs Step 2: automatic guideline generation. The
+// underlying estimator queries fan out across Input.Parallelism workers;
+// the Guidelines are identical at any width.
 func (n *Navigator) Explore() (*Guidelines, error) {
-	ex := &dse.Explorer{Est: n.est, Space: n.in.Space, Constraints: n.in.Constraints}
+	ex := &dse.Explorer{
+		Est:         n.est,
+		Space:       n.in.Space,
+		Constraints: n.in.Constraints,
+		Workers:     n.in.Parallelism,
+	}
 	res, err := ex.Explore(n.base)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -125,6 +126,81 @@ func TestConstraintsRespectedInGuidelines(t *testing.T) {
 		if pt.Pred.MemoryGB > 1.0 {
 			t.Errorf("%s guideline predicts %.2f GB over the 1 GB budget", p, pt.Pred.MemoryGB)
 		}
+	}
+}
+
+// TestParallelismInvariantGuidelines: Input.Parallelism is a wall-clock
+// knob only — Guidelines are identical at any fan-out width.
+func TestParallelismInvariantGuidelines(t *testing.T) {
+	n := sharedNavigator(t)
+	mk := func(workers int) *Navigator {
+		nav := &Navigator{in: n.in, est: n.est, base: n.base}
+		nav.in.Parallelism = workers
+		return nav
+	}
+	serial, err := mk(1).Explore()
+	if err != nil {
+		t.Fatalf("serial Explore: %v", err)
+	}
+	for _, workers := range []int{3, 8} {
+		g, err := mk(workers).Explore()
+		if err != nil {
+			t.Fatalf("workers=%d Explore: %v", workers, err)
+		}
+		if !reflect.DeepEqual(g, serial) {
+			t.Fatalf("workers=%d: Guidelines differ from serial", workers)
+		}
+	}
+}
+
+// TestUserSpaceHonored: a legitimate single-point Space (only CacheRatios
+// set) must survive New — the old Size()<=1 heuristic silently replaced
+// it with DefaultSpace and explored hundreds of unwanted configs.
+func TestUserSpaceHonored(t *testing.T) {
+	sharedNavigator(t) // warm the calibration record cache
+	n, err := New(Input{
+		Dataset:       dataset.Reddit2,
+		Model:         model.SAGE,
+		Platform:      "rtx4090",
+		CalibDatasets: []string{dataset.OgbnArxiv},
+		CalibSamples:  16,
+		Epochs:        2,
+		Space:         dse.Space{CacheRatios: []float64{0.15}},
+		Seed:          21,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g, err := n.Explore()
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if g.Explored != 1 {
+		t.Fatalf("single-point Space explored %d configs, want exactly 1 (DefaultSpace substituted?)", g.Explored)
+	}
+	if got := g.Chosen.Cfg.CacheRatio; got != 0.15 {
+		t.Errorf("chosen guideline cache ratio %v, want the pinned 0.15", got)
+	}
+}
+
+// TestZeroSpaceDefaults: the genuine zero value still falls back to the
+// full default grid.
+func TestZeroSpaceDefaults(t *testing.T) {
+	sharedNavigator(t) // warm the calibration record cache
+	n, err := New(Input{
+		Dataset:       dataset.Reddit2,
+		Model:         model.SAGE,
+		Platform:      "rtx4090",
+		CalibDatasets: []string{dataset.OgbnArxiv},
+		CalibSamples:  16,
+		Epochs:        2,
+		Seed:          21,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !reflect.DeepEqual(n.in.Space, dse.DefaultSpace()) {
+		t.Errorf("zero Space not replaced by DefaultSpace: %+v", n.in.Space)
 	}
 }
 

@@ -9,12 +9,15 @@ package dse
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sort"
 
 	"gnnavigator/internal/backend"
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/estimator"
 	"gnnavigator/internal/hw"
+	"gnnavigator/internal/tensor"
 )
 
 // Space enumerates the reconfigurable settings of Fig. 3 that the explorer
@@ -51,6 +54,19 @@ func DefaultSpace() Space {
 	}
 }
 
+// IsZero reports whether no dimension of the space is set at all — the
+// genuine zero value, as opposed to a deliberately narrow space that
+// pins most knobs and varies one (e.g. only CacheRatios). Callers that
+// substitute DefaultSpace for "no space given" must test this, not
+// Size(), which is 1 for any single-point space.
+func (s Space) IsZero() bool {
+	return len(s.Samplers) == 0 && len(s.BatchSizes) == 0 &&
+		len(s.FanoutSets) == 0 && len(s.WalkLengths) == 0 &&
+		len(s.CacheRatios) == 0 && len(s.Policies) == 0 &&
+		len(s.BiasRates) == 0 && len(s.Hiddens) == 0 &&
+		len(s.LayerCounts) == 0
+}
+
 // Size returns an upper bound on the number of leaf configurations.
 func (s Space) Size() int {
 	n := 1
@@ -78,10 +94,22 @@ type Constraints struct {
 	MinAccuracy float64
 }
 
+// finite reports whether v is an ordinary float (not NaN, not ±Inf).
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Satisfied reports whether a prediction meets the constraints (including
-// device feasibility).
+// device feasibility). Non-finite predictions are infeasible by fiat: a
+// NaN or Inf metric cannot be compared against a budget, and letting one
+// survive into the candidate set would poison the decision maker's
+// min-max normalization (every score becomes NaN and no candidate can
+// ever win).
 func (c Constraints) Satisfied(p estimator.Prediction) bool {
 	if !p.Feasible {
+		return false
+	}
+	if !finite(p.TimeSec) || !finite(p.MemoryGB) || !finite(p.Accuracy) {
 		return false
 	}
 	if c.MaxTimeSec > 0 && p.TimeSec > c.MaxTimeSec {
@@ -157,12 +185,104 @@ type Explorer struct {
 	Constraints Constraints
 	// DisablePruning turns constraint pruning off (ablation).
 	DisablePruning bool
+	// Workers bounds how many estimator.Predict calls run concurrently
+	// during Explore: 0 = the process-wide tensor worker default
+	// (GOMAXPROCS / $GNNAV_PROCS / -procs), 1 = serial. Evaluation
+	// results are index-stamped into the DFS leaf order, so Candidates,
+	// Pareto and every Decide over them are bitwise-identical at any
+	// worker count.
+	Workers int
+}
+
+func (e *Explorer) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return tensor.Parallelism()
+}
+
+// forEachLeaf enumerates, in DFS order, every admissible leaf
+// configuration of the subtree under one cache ratio: the inner-loop
+// admission rules (fanout/depth match for hop-list samplers, collapsing
+// duplicate no-cache policy×bias combos, node-wise-only cache bias, and
+// Config.Validate) all live here, so leaf evaluation and prune
+// accounting count exactly the same set of configurations.
+func (s Space) forEachLeaf(base backend.Config, ratio float64, yield func(backend.Config)) {
+	for _, smp := range s.Samplers {
+		for _, b0 := range s.BatchSizes {
+			shapes := len(s.FanoutSets)
+			if smp == backend.SamplerSAINT {
+				shapes = len(s.WalkLengths)
+			}
+			for sh := 0; sh < shapes; sh++ {
+				for _, layers := range s.LayerCounts {
+					for _, pol := range s.Policies {
+						for _, bias := range s.BiasRates {
+							for _, hidden := range s.Hiddens {
+								cfg := base
+								cfg.Sampler = smp
+								cfg.BatchSize = b0
+								cfg.CacheRatio = ratio
+								cfg.Hidden = hidden
+								cfg.Layers = layers
+								if smp == backend.SamplerSAINT {
+									cfg.Fanouts = nil
+									cfg.WalkLength = s.WalkLengths[sh]
+								} else {
+									cfg.Fanouts = s.FanoutSets[sh]
+									cfg.WalkLength = 0
+									if len(cfg.Fanouts) != cfg.Layers {
+										continue
+									}
+								}
+								if ratio == 0 {
+									cfg.CachePolicy = cache.None
+									cfg.BiasRate = 0
+									if pol != s.Policies[0] || bias != s.BiasRates[0] {
+										continue // collapse duplicate no-cache combos
+									}
+								} else {
+									cfg.CachePolicy = pol
+									cfg.BiasRate = bias
+									if bias > 0 && smp != backend.SamplerSAGE {
+										continue // cache-aware bias is node-wise only
+									}
+								}
+								if cfg.Validate() != nil {
+									continue
+								}
+								yield(cfg)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// countLeaves reports exactly how many leaves forEachLeaf would yield
+// under one cache ratio — the number of estimator queries pruning the
+// subtree saves. Counting through the shared enumerator (instead of
+// multiplying dimension sizes) keeps Evaluated + Pruned invariant
+// against the pruning-disabled total.
+func (s Space) countLeaves(base backend.Config, ratio float64) int {
+	n := 0
+	s.forEachLeaf(base, ratio, func(backend.Config) { n++ })
+	return n
 }
 
 // Explore traverses the design space depth-first from the base config
 // (which supplies dataset, platform, model kind, layers, epochs, LR).
 // Dimension order puts CacheRatio early so the memory lower bound can cut
 // whole subtrees, mirroring the paper's pruning discussion.
+//
+// Explore runs in two stages: a serial leaf generator walks the space,
+// cutting (and exactly counting) subtrees the cache-memory lower bound
+// already rules out; the surviving leaves are then evaluated on a
+// bounded worker pool (see Workers). The estimator is safe for
+// concurrent Predict use and each result lands in its leaf's index slot,
+// so the output is deterministic — identical to the serial traversal.
 func (e *Explorer) Explore(base backend.Config) (*Result, error) {
 	if e.Est == nil {
 		return nil, fmt.Errorf("dse: explorer needs a trained estimator")
@@ -178,38 +298,7 @@ func (e *Explorer) Explore(base backend.Config) (*Result, error) {
 	s := e.normalizedSpace(base)
 	res := &Result{}
 
-	// leafCount(dims...) for prune accounting below a cut.
-	leafsBelow := func(level int) int {
-		n := 1
-		if level <= 0 {
-			n *= len(s.Samplers)
-		}
-		if level <= 1 {
-			n *= len(s.BatchSizes)
-		}
-		// Level 2 (shape) depends on sampler; bound with the max.
-		if level <= 2 {
-			m := len(s.FanoutSets)
-			if len(s.WalkLengths) > m {
-				m = len(s.WalkLengths)
-			}
-			n *= m
-		}
-		if level <= 3 {
-			n *= len(s.Policies)
-		}
-		if level <= 4 {
-			n *= len(s.BiasRates)
-		}
-		if level <= 5 {
-			n *= len(s.Hiddens)
-		}
-		if level <= 6 {
-			n *= len(s.LayerCounts)
-		}
-		return n
-	}
-
+	var leaves []backend.Config
 	for _, ratio := range s.CacheRatios {
 		// Constraint pruning: Γ_cache alone is a lower bound on Γ for the
 		// whole subtree under this cache ratio (Eq. 9 is a sum of
@@ -221,67 +310,31 @@ func (e *Explorer) Explore(base backend.Config) (*Result, error) {
 			overBudget := e.Constraints.MaxMemoryGB > 0 && cacheBytes/1e9 > e.Constraints.MaxMemoryGB
 			overDevice := cacheBytes > plat.Device.MemCapacityBytes
 			if overBudget || overDevice {
-				res.Pruned += leafsBelow(0)
+				res.Pruned += s.countLeaves(base, ratio)
 				continue
 			}
 		}
-		for _, smp := range s.Samplers {
-			for _, b0 := range s.BatchSizes {
-				shapes := len(s.FanoutSets)
-				if smp == backend.SamplerSAINT {
-					shapes = len(s.WalkLengths)
-				}
-				for sh := 0; sh < shapes; sh++ {
-					for _, layers := range s.LayerCounts {
-						for _, pol := range s.Policies {
-							for _, bias := range s.BiasRates {
-								for _, hidden := range s.Hiddens {
-									cfg := base
-									cfg.Sampler = smp
-									cfg.BatchSize = b0
-									cfg.CacheRatio = ratio
-									cfg.Hidden = hidden
-									cfg.Layers = layers
-									if smp == backend.SamplerSAINT {
-										cfg.Fanouts = nil
-										cfg.WalkLength = s.WalkLengths[sh]
-									} else {
-										cfg.Fanouts = s.FanoutSets[sh]
-										cfg.WalkLength = 0
-										if len(cfg.Fanouts) != cfg.Layers {
-											continue
-										}
-									}
-									if ratio == 0 {
-										cfg.CachePolicy = cache.None
-										cfg.BiasRate = 0
-										if pol != s.Policies[0] || bias != s.BiasRates[0] {
-											continue // collapse duplicate no-cache combos
-										}
-									} else {
-										cfg.CachePolicy = pol
-										cfg.BiasRate = bias
-										if bias > 0 && smp != backend.SamplerSAGE {
-											continue // cache-aware bias is node-wise only
-										}
-									}
-									if cfg.Validate() != nil {
-										continue
-									}
-									pred, err := e.Est.Predict(cfg)
-									if err != nil {
-										return nil, err
-									}
-									res.Evaluated++
-									if e.Constraints.Satisfied(pred) {
-										res.Candidates = append(res.Candidates, Point{Cfg: cfg, Pred: pred})
-									}
-								}
-							}
-						}
-					}
-				}
-			}
+		s.forEachLeaf(base, ratio, func(cfg backend.Config) {
+			leaves = append(leaves, cfg)
+		})
+	}
+
+	preds := make([]estimator.Prediction, len(leaves))
+	// The fan-out short-circuits on the first Predict error like the old
+	// DFS's early return (a failing estimator dependency — e.g. a
+	// baseline run, which only caches success — would otherwise re-fail
+	// once per leaf).
+	if err := tensor.ForEachIndexErr(len(leaves), e.workerCount(), func(i int) error {
+		var err error
+		preds[i], err = e.Est.Predict(leaves[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	res.Evaluated = len(leaves)
+	for i, cfg := range leaves {
+		if e.Constraints.Satisfied(preds[i]) {
+			res.Candidates = append(res.Candidates, Point{Cfg: cfg, Pred: preds[i]})
 		}
 	}
 	res.Pareto = ParetoFront(res.Candidates)
@@ -344,8 +397,104 @@ func dominates(a, b Point) bool {
 }
 
 // ParetoFront returns the non-dominated subset of points over
-// (minimize T, minimize Γ, maximize Acc).
+// (minimize T, minimize Γ, maximize Acc), preserving input order.
+//
+// It runs as a sort-and-sweep: points sorted by (T asc, Γ asc, Acc desc)
+// are swept once while an incremental staircase maps cache memory Γ to
+// the best accuracy seen at-or-below it. A point is dominated exactly
+// when an earlier, distinct triple offers Γ ≤ and Acc ≥ its own (T ≤
+// holds by the sort, and distinctness forces one of the three to be
+// strict). Cost: O(n log n) for the sort and the staircase searches,
+// plus a splice memmove per surviving point that is O(front size) in
+// the worst case (a fully anticorrelated T/Γ front) — still a flat
+// float64 copy, orders of magnitude cheaper per element than the
+// all-pairs reference's dominates() calls. Any non-finite coordinate
+// falls back to the quadratic reference, whose pairwise comparisons
+// define the semantics sorting NaNs would break.
 func ParetoFront(points []Point) []Point {
+	n := len(points)
+	if n <= 2 {
+		return paretoFrontQuadratic(points)
+	}
+	for _, p := range points {
+		if !finite(p.Pred.TimeSec) || !finite(p.Pred.MemoryGB) || !finite(p.Pred.Accuracy) {
+			return paretoFrontQuadratic(points)
+		}
+	}
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	slices.SortFunc(ord, func(a, b int) int {
+		pa, pb := points[a].Pred, points[b].Pred
+		switch {
+		case pa.TimeSec != pb.TimeSec:
+			if pa.TimeSec < pb.TimeSec {
+				return -1
+			}
+			return 1
+		case pa.MemoryGB != pb.MemoryGB:
+			if pa.MemoryGB < pb.MemoryGB {
+				return -1
+			}
+			return 1
+		case pa.Accuracy != pb.Accuracy:
+			if pa.Accuracy > pb.Accuracy {
+				return -1
+			}
+			return 1
+		default:
+			return a - b
+		}
+	})
+	dominated := make([]bool, n)
+	// Staircase over processed points: gs strictly ascending, accs[i] the
+	// best accuracy among all points with Γ <= gs[i] (so also strictly
+	// ascending — entries a cheaper-Γ point already beats are elided).
+	var gs, accs []float64
+	for i := 0; i < n; {
+		p := points[ord[i]].Pred
+		// Identical ⟨T, Γ, Acc⟩ triples are adjacent in the sort order and
+		// never dominate each other; they share one verdict.
+		j := i + 1
+		for j < n {
+			q := points[ord[j]].Pred
+			if q.TimeSec != p.TimeSec || q.MemoryGB != p.MemoryGB || q.Accuracy != p.Accuracy {
+				break
+			}
+			j++
+		}
+		k := sort.Search(len(gs), func(m int) bool { return gs[m] > p.MemoryGB }) - 1
+		if k >= 0 && accs[k] >= p.Accuracy {
+			for _, idx := range ord[i:j] {
+				dominated[idx] = true
+			}
+		} else {
+			// New best accuracy at this Γ: insert, dropping entries at
+			// Γ >= ours whose accuracy we match or beat.
+			pos := sort.Search(len(gs), func(m int) bool { return gs[m] >= p.MemoryGB })
+			cut := pos
+			for cut < len(gs) && accs[cut] <= p.Accuracy {
+				cut++
+			}
+			gs = slices.Insert(slices.Delete(gs, pos, cut), pos, p.MemoryGB)
+			accs = slices.Insert(slices.Delete(accs, pos, cut), pos, p.Accuracy)
+		}
+		i = j
+	}
+	var front []Point
+	for i, p := range points {
+		if !dominated[i] {
+			front = append(front, p)
+		}
+	}
+	return front
+}
+
+// paretoFrontQuadratic is the all-pairs O(n²) reference front: the
+// fallback for non-finite inputs and the oracle the equivalence tests
+// compare the sweep against.
+func paretoFrontQuadratic(points []Point) []Point {
 	var front []Point
 	for i, p := range points {
 		dominated := false
@@ -371,6 +520,24 @@ func Decide(candidates []Point, priority Priority) (Point, error) {
 	if len(candidates) == 0 {
 		return Point{}, fmt.Errorf("dse: no candidates satisfy the constraints")
 	}
+	// Non-finite candidates (possible only when callers bypass
+	// Constraints.Satisfied, which rejects them) are excluded before
+	// anything else: a NaN metric would poison the min-max normalization
+	// (math.Min propagates NaN, turning every score NaN), and an Inf
+	// accuracy would set a guard band no finite candidate can meet.
+	scorable := func(p Point) bool {
+		return finite(p.Pred.TimeSec) && finite(p.Pred.MemoryGB) && finite(p.Pred.Accuracy)
+	}
+	finiteCands := make([]Point, 0, len(candidates))
+	for _, p := range candidates {
+		if scorable(p) {
+			finiteCands = append(finiteCands, p)
+		}
+	}
+	if len(finiteCands) == 0 {
+		return Point{}, fmt.Errorf("dse: no candidate has a finite score")
+	}
+	candidates = finiteCands
 	bestAcc := math.Inf(-1)
 	for _, p := range candidates {
 		if p.Pred.Accuracy > bestAcc {
@@ -414,6 +581,13 @@ func Decide(candidates []Point, priority Priority) (Point, error) {
 			bestScore = score
 			best = i
 		}
+	}
+	if best < 0 {
+		// Unreachable after the finiteness filter above (finite inputs
+		// always produce a finite first score), but a panic on
+		// candidates[-1] is the failure mode this function once had —
+		// keep the guard.
+		return Point{}, fmt.Errorf("dse: no candidate has a finite score")
 	}
 	return candidates[best], nil
 }

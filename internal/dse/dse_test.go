@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"reflect"
 	"testing"
 
 	"gnnavigator/internal/backend"
@@ -107,10 +108,62 @@ func TestConstraintPruning(t *testing.T) {
 		t.Errorf("pruning did not reduce evaluations: %d vs %d",
 			resWith.Evaluated, resWithout.Evaluated)
 	}
+	// Exact prune accounting: every pruned leaf is one the disabled run
+	// evaluated, no more, no fewer.
+	if resWithout.Pruned != 0 {
+		t.Errorf("pruning-disabled run reported %d pruned leaves", resWithout.Pruned)
+	}
+	if resWith.Evaluated+resWith.Pruned != resWithout.Evaluated {
+		t.Errorf("prune accounting inexact: evaluated %d + pruned %d != %d total leaves",
+			resWith.Evaluated, resWith.Pruned, resWithout.Evaluated)
+	}
 	// Pruning must not change the satisfying candidate set.
-	if len(resWith.Candidates) != len(resWithout.Candidates) {
-		t.Errorf("pruning changed candidate count: %d vs %d",
+	if !reflect.DeepEqual(resWith.Candidates, resWithout.Candidates) {
+		t.Errorf("pruning changed the candidate set: %d vs %d candidates",
 			len(resWith.Candidates), len(resWithout.Candidates))
+	}
+}
+
+// TestPruneAccountingExactAcrossSpaces drives the invariant through
+// spaces that exercise every admission rule the old multiplicative count
+// got wrong: samplers with mismatched fanout/depth combos, SAINT (which
+// uses WalkLengths, not FanoutSets), collapsed no-cache policy×bias
+// duplicates, and bias rates inadmissible off the node-wise sampler.
+func TestPruneAccountingExactAcrossSpaces(t *testing.T) {
+	est := sharedEstimator(t)
+	base := baseCfg()
+	base.Dataset = dataset.Reddit2
+	spaces := map[string]Space{
+		"small": smallSpace(),
+		"mixed-samplers": {
+			Samplers:    []backend.SamplerKind{backend.SamplerSAGE, backend.SamplerSAINT},
+			BatchSizes:  []int{512},
+			FanoutSets:  [][]int{{10}, {10, 5}, {15, 8}},
+			WalkLengths: []int{8, 12},
+			LayerCounts: []int{1, 2},
+			CacheRatios: []float64{0, 0.3, 0.45},
+			Policies:    []cache.Policy{cache.Static, cache.LRU},
+			BiasRates:   []float64{0, 0.9},
+			Hiddens:     []int{32},
+		},
+	}
+	for name, space := range spaces {
+		tight := Constraints{MaxMemoryGB: 0.2}
+		with, err := (&Explorer{Est: est, Space: space, Constraints: tight}).Explore(base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		without, err := (&Explorer{Est: est, Space: space, Constraints: tight, DisablePruning: true}).Explore(base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if with.Pruned == 0 {
+			t.Errorf("%s: nothing pruned under a 0.2 GB budget", name)
+		}
+		if with.Evaluated+with.Pruned != without.Evaluated {
+			t.Errorf("%s: evaluated %d + pruned %d != total %d",
+				name, with.Evaluated, with.Pruned, without.Evaluated)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"gnnavigator/internal/regress"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/sim"
+	"gnnavigator/internal/tensor"
 )
 
 // GraphStats are the dataset-profiling features of Fig. 2's Step 1
@@ -44,20 +45,64 @@ type GraphStats struct {
 	ProbeAcc float64
 }
 
+// flightCell single-flights one memoized computation: the mutex
+// serializes concurrent callers, and done is set only on success, so a
+// failed (or panicking) computation is retried by the next caller
+// rather than cached for the process lifetime. Both of this package's
+// expensive memoizations — dataset stats and baseline accuracy — run
+// through it.
+type flightCell[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// get returns the cached value, computing it under the cell lock when
+// absent.
+func (c *flightCell[T]) get(compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.val, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return v, err
+	}
+	c.val = v
+	c.done = true
+	return v, nil
+}
+
+// cellFor fetches or creates the flight cell for key under the map's
+// lock.
+func cellFor[T any](mu *sync.Mutex, m map[string]*flightCell[T], key string) *flightCell[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &flightCell[T]{}
+		m[key] = e
+	}
+	return e
+}
+
 var (
 	statsMu    sync.Mutex
-	statsCache = map[string]GraphStats{}
+	statsCache = map[string]*flightCell[GraphStats]{}
 )
 
-// ProfileDataset computes (and memoizes) GraphStats for d.
+// ProfileDataset computes (and memoizes) GraphStats for d. Safe for
+// concurrent use: callers racing on an unprofiled dataset block on a
+// single computation rather than duplicating it.
 func ProfileDataset(d *dataset.Dataset) GraphStats {
-	statsMu.Lock()
-	if st, ok := statsCache[d.Name]; ok {
-		statsMu.Unlock()
-		return st
-	}
-	statsMu.Unlock()
+	st, _ := cellFor(&statsMu, statsCache, d.Name).get(func() (GraphStats, error) {
+		return computeGraphStats(d), nil
+	})
+	return st
+}
 
+func computeGraphStats(d *dataset.Dataset) GraphStats {
 	g := d.Graph
 	s := g.Stats()
 	var same, total int
@@ -74,7 +119,7 @@ func ProfileDataset(d *dataset.Dataset) GraphStats {
 	if total > 0 {
 		hom = float64(same) / float64(total)
 	}
-	st := GraphStats{
+	return GraphStats{
 		LogVertices: math.Log(float64(n)),
 		AvgDegree:   s.Mean,
 		Alpha:       s.PowerLawAlpha,
@@ -85,10 +130,6 @@ func ProfileDataset(d *dataset.Dataset) GraphStats {
 		TrainCount:  float64(len(d.TrainIdx)),
 		ProbeAcc:    probeAccuracy(d),
 	}
-	statsMu.Lock()
-	statsCache[d.Name] = st
-	statsMu.Unlock()
-	return st
 }
 
 // probeAccuracy trains a small softmax-regression probe on raw features
@@ -147,23 +188,57 @@ type Record struct {
 // parallelism) for every profiling run; SkipTraining is always derived
 // from withAccuracy. Perf outputs are bitwise-identical across those
 // knobs, so they change profiling wall time only, never the records.
+//
+// Collect fans the profiling runs — the dominant cost of Step-1
+// calibration — out across the process-wide default worker count; use
+// CollectWith to pick the width explicitly.
 func Collect(cfgs []backend.Config, withAccuracy bool, opts ...backend.Options) ([]Record, error) {
+	return CollectWith(cfgs, withAccuracy, 0, opts...)
+}
+
+// CollectWith is Collect with an explicit fan-out width: up to `workers`
+// backend profiling runs execute concurrently (0 = the process-wide
+// tensor worker default, 1 = serial). Every run is deterministic in
+// isolation — it owns its sampler, cache, model and RNG chain — and
+// records are index-stamped into the cfgs order, so the output is
+// identical at every worker count (WallSec, which measures host time,
+// is the one informational exception).
+func CollectWith(cfgs []backend.Config, withAccuracy bool, workers int, opts ...backend.Options) ([]Record, error) {
 	runOpts := backend.Options{}
 	if len(opts) > 0 {
 		runOpts = opts[0]
 	}
 	runOpts.SkipTraining = !withAccuracy
-	out := make([]Record, 0, len(cfgs))
-	for _, cfg := range cfgs {
+	if workers <= 0 {
+		workers = tensor.Parallelism()
+	}
+	if workers > 1 && runOpts.Parallelism > 0 {
+		// Hoist the per-run tensor override into one scope around the
+		// whole fan-out (see tensor.WithParallelism): concurrent RunWith
+		// calls each setting and restoring the process-wide worker count
+		// would interleave their restores and could leave the override
+		// stuck after the last run returns.
+		defer tensor.WithParallelism(runOpts.Parallelism)()
+		runOpts.Parallelism = 0
+	}
+	out := make([]Record, len(cfgs))
+	// The fan-out short-circuits like the old serial loop: after the
+	// first failure the remaining (expensive) profiling runs are skipped,
+	// not executed.
+	if err := tensor.ForEachIndexErr(len(cfgs), workers, func(i int) error {
+		cfg := cfgs[i]
 		ds, err := dataset.Load(cfg.Dataset)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		perf, err := backend.RunWith(cfg, runOpts)
 		if err != nil {
-			return nil, fmt.Errorf("estimator: collect %s: %w", cfg.Label(), err)
+			return fmt.Errorf("estimator: collect %s: %w", cfg.Label(), err)
 		}
-		out = append(out, Record{Cfg: cfg, Stats: ProfileDataset(ds), Perf: perf})
+		out[i] = Record{Cfg: cfg, Stats: ProfileDataset(ds), Perf: perf}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -385,7 +460,9 @@ func analyticBound(cfg backend.Config, st GraphStats) float64 {
 	}
 }
 
-// Estimator is the trained gray-box model.
+// Estimator is the trained gray-box model. After Train returns, every
+// prediction method is read-only and safe for concurrent use — the DSE
+// explorer fans Predict out across a worker pool.
 type Estimator struct {
 	// batchRatio predicts log(measured |V_i| / analytic bound) ≤ 0: the
 	// learned f_overlapping of Eq. 12.
@@ -407,35 +484,30 @@ type Estimator struct {
 
 var (
 	baselineMu  sync.Mutex
-	baselineAcc = map[string]float64{}
+	baselineAcc = map[string]*flightCell[float64]{}
 )
 
 // BaselineAccuracy returns (memoized) the validation accuracy of the
 // canonical unbiased configuration on a dataset — the reference point of
 // Eq. 11. It costs one short backend run per (dataset, epochs) per
-// process.
+// process; concurrent callers for the same key block on that single run,
+// and a failed run is retried on the next call (flightCell caches
+// success only).
 func BaselineAccuracy(dsName string, epochs int) (float64, error) {
 	key := fmt.Sprintf("%s/%d", dsName, epochs)
-	baselineMu.Lock()
-	if a, ok := baselineAcc[key]; ok {
-		baselineMu.Unlock()
-		return a, nil
-	}
-	baselineMu.Unlock()
-	cfg := backend.Config{
-		Dataset: dsName, Platform: "rtx4090", Model: model.SAGE,
-		Hidden: 32, Layers: 2, Epochs: epochs, LR: 0.01, Seed: 4242,
-		Sampler: backend.SamplerSAGE, BatchSize: 1024, Fanouts: []int{10, 5},
-		CachePolicy: cache.None,
-	}
-	perf, err := backend.Run(cfg)
-	if err != nil {
-		return 0, fmt.Errorf("estimator: baseline run on %s: %w", dsName, err)
-	}
-	baselineMu.Lock()
-	baselineAcc[key] = perf.Accuracy
-	baselineMu.Unlock()
-	return perf.Accuracy, nil
+	return cellFor(&baselineMu, baselineAcc, key).get(func() (float64, error) {
+		cfg := backend.Config{
+			Dataset: dsName, Platform: "rtx4090", Model: model.SAGE,
+			Hidden: 32, Layers: 2, Epochs: epochs, LR: 0.01, Seed: 4242,
+			Sampler: backend.SamplerSAGE, BatchSize: 1024, Fanouts: []int{10, 5},
+			CachePolicy: cache.None,
+		}
+		perf, err := backend.Run(cfg)
+		if err != nil {
+			return 0, fmt.Errorf("estimator: baseline run on %s: %w", dsName, err)
+		}
+		return perf.Accuracy, nil
+	})
 }
 
 // Train fits the estimator on ground-truth records. Records with zero
@@ -519,7 +591,10 @@ func (e *Estimator) PredictBatchSize(cfg backend.Config, st GraphStats) float64 
 	return clamp(v, float64(cfg.BatchSize), math.Exp(st.LogVertices))
 }
 
-// Predict estimates Perf⟨T, Γ, Acc⟩ for cfg without executing it.
+// Predict estimates Perf⟨T, Γ, Acc⟩ for cfg without executing it. Safe
+// for concurrent use: the regressors are read-only after Train, and the
+// memoized dataset stats / baseline accuracy lookups single-flight their
+// first computation.
 func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 	if err := cfg.Validate(); err != nil {
 		return Prediction{}, err

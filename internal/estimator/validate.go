@@ -109,7 +109,7 @@ func (b *BlackBoxBatchSize) Predict(cfg backend.Config) float64 {
 
 var (
 	calibMu    sync.Mutex
-	calibCache = map[string][]Record{}
+	calibCache = map[string]*flightCell[[]Record]{}
 )
 
 // CollectCached memoizes Collect for a standard probe grid, keyed by
@@ -118,21 +118,18 @@ var (
 // is the expensive step. Run-fidelity options (prefetch/parallelism) are
 // deliberately absent from the key: backend outputs are bitwise-identical
 // across them, so records collected at any depth are interchangeable.
+// Concurrent callers on a cold key single-flight the probe sweep.
 func CollectCached(dsName string, kind model.Kind, platform string, n int, seed int64, withAccuracy bool, opts ...backend.Options) ([]Record, error) {
+	return CollectCachedWith(dsName, kind, platform, n, seed, withAccuracy, 0, opts...)
+}
+
+// CollectCachedWith is CollectCached with an explicit fan-out width for
+// the underlying profiling runs (see CollectWith). The width is not part
+// of the memo key: records are identical at every worker count.
+func CollectCachedWith(dsName string, kind model.Kind, platform string, n int, seed int64, withAccuracy bool, workers int, opts ...backend.Options) ([]Record, error) {
 	key := fmt.Sprintf("%s/%s/%s/%d/%d/%v", dsName, kind, platform, n, seed, withAccuracy)
-	calibMu.Lock()
-	if recs, ok := calibCache[key]; ok {
-		calibMu.Unlock()
-		return recs, nil
-	}
-	calibMu.Unlock()
-	cfgs := ProbeConfigs(dsName, kind, platform, n, seed)
-	recs, err := Collect(cfgs, withAccuracy, opts...)
-	if err != nil {
-		return nil, err
-	}
-	calibMu.Lock()
-	calibCache[key] = recs
-	calibMu.Unlock()
-	return recs, nil
+	return cellFor(&calibMu, calibCache, key).get(func() ([]Record, error) {
+		cfgs := ProbeConfigs(dsName, kind, platform, n, seed)
+		return CollectWith(cfgs, withAccuracy, workers, opts...)
+	})
 }

@@ -84,6 +84,22 @@ func SetParallelism(n int) {
 // Parallelism reports the current worker count.
 func Parallelism() int { return int(parallelism.Load()) }
 
+// WithParallelism installs n as the process-wide worker count and
+// returns the function that restores the previous value (a no-op when
+// n <= 0, i.e. "no override"). This is the one implementation of the
+// apply-once/restore-once contract; callers that fan work out
+// concurrently must hold a single WithParallelism scope around the
+// whole fan-out rather than nesting per-task scopes, whose interleaved
+// restores could stick.
+func WithParallelism(n int) (restore func()) {
+	if n <= 0 {
+		return func() {}
+	}
+	prev := Parallelism()
+	SetParallelism(n)
+	return func() { SetParallelism(prev) }
+}
+
 // ensureWorkers grows the pool to at least n resident workers.
 func ensureWorkers(n int) {
 	poolMu.Lock()
@@ -106,6 +122,81 @@ func ensureWorkers(n int) {
 // the same way the kernels here do: disjoint ranges, deterministic
 // per-element work, so results are independent of the worker count.
 func ParallelRange(n int, fn func(lo, hi int)) { parallelFor(n, flatGrain, fn) }
+
+// ForEachIndex runs fn(i) for every i in [0, n) with up to `workers`
+// invocations in flight (the calling goroutine participates). It is the
+// coarse-grained companion to the sharded kernels: items are pulled from
+// a shared atomic counter, so expensive, variable-cost tasks — a full
+// backend profiling run, an estimator prediction — load-balance instead
+// of being pinned to contiguous shards. workers <= 0 selects the
+// process-wide Parallelism(); workers == 1 (or n <= 1) runs inline with
+// no goroutines. fn receives each index exactly once and must write any
+// result to an index-stamped slot; callers that do so observe output
+// identical to the serial loop at every worker count. Nested kernel
+// dispatches from inside fn share the package pool safely.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drain()
+		}()
+	}
+	drain()
+	wg.Wait()
+}
+
+// ForEachIndexErr is ForEachIndex for fallible items: once any fn
+// returns an error, not-yet-started items are skipped — mirroring a
+// serial loop's early return, which matters when each item is expensive
+// (a backend profiling run) or the failure would repeat per item. The
+// lowest-index recorded error is returned; index-stamped output written
+// before the failure is partial and must be discarded by the caller.
+func ForEachIndexErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	ForEachIndex(n, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // ParallelRows is ParallelRange with a row-level grain, for loops whose
 // body processes a whole matrix row (or similarly sized unit) per index.

@@ -1,10 +1,15 @@
 package tensor
 
 import (
+	"errors"
 	"math/rand"
+	"slices"
+	"sync/atomic"
 	"testing"
 	"time"
 )
+
+var errTest = errors.New("test error")
 
 // withParallelism sets the worker count for a test and restores it after.
 func withParallelism(t *testing.T, n int) {
@@ -256,5 +261,123 @@ func TestNilWorkspaceDegradesToAlloc(t *testing.T) {
 	ws.ReleaseAll() // no-op
 	if ws.InUse() != 0 {
 		t.Fatal("nil workspace InUse != 0")
+	}
+}
+
+func TestForEachIndexCoversEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {3, 8}, {100, 0}, {1000, 1}, {1000, 3}, {1000, 16},
+	} {
+		counts := make([]atomic.Int32, max(tc.n, 1))
+		ForEachIndex(tc.n, tc.workers, func(i int) {
+			if i < 0 || i >= tc.n {
+				t.Errorf("n=%d workers=%d: index %d out of range", tc.n, tc.workers, i)
+				return
+			}
+			counts[i].Add(1)
+		})
+		for i := 0; i < tc.n; i++ {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d workers=%d: index %d visited %d times", tc.n, tc.workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexIndexStampedOrder(t *testing.T) {
+	// Index-stamped writes must reproduce the serial output at any width.
+	const n = 257
+	want := make([]int, n)
+	ForEachIndex(n, 1, func(i int) { want[i] = i * i })
+	for _, workers := range []int{2, 5, 32} {
+		got := make([]int, n)
+		ForEachIndex(n, workers, func(i int) { got[i] = i * i })
+		if !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: output differs from serial", workers)
+		}
+	}
+}
+
+func TestForEachIndexNestedKernelDispatch(t *testing.T) {
+	// Coarse items may issue sharded kernels from inside fn; the shared
+	// pool must neither deadlock nor perturb results.
+	withParallelism(t, 4)
+	const rows, cols = 33, 17
+	sums := make([]float64, 8)
+	for _, workers := range []int{1, 4} {
+		got := make([]float64, len(sums))
+		for i := range got {
+			got[i] = -1
+		}
+		ForEachIndex(len(got), workers, func(i int) {
+			a := New(rows, cols)
+			for j := range a.Data {
+				a.Data[j] = float64(j%7) + float64(i)
+			}
+			b := New(cols, rows)
+			for j := range b.Data {
+				b.Data[j] = 1
+			}
+			out := New(rows, rows)
+			MatMulInto(out, a, b)
+			var s float64
+			for _, v := range out.Data {
+				s += v
+			}
+			got[i] = s
+		})
+		if workers == 1 {
+			copy(sums, got)
+			continue
+		}
+		if !slices.Equal(got, sums) {
+			t.Fatalf("nested dispatch at %d workers diverged from serial", workers)
+		}
+	}
+}
+
+func TestForEachIndexErr(t *testing.T) {
+	// No error: all indices visited, nil returned.
+	var visited atomic.Int32
+	if err := ForEachIndexErr(10, 4, func(i int) error {
+		visited.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEachIndexErr: %v", err)
+	}
+	if visited.Load() != 10 {
+		t.Fatalf("visited %d indices, want 10", visited.Load())
+	}
+	// Serial error: the failing index's error returns and later items
+	// are skipped, like a plain loop's early return.
+	var ran []int
+	err := ForEachIndexErr(8, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("error = %v, want errTest", err)
+	}
+	if !slices.Equal(ran, []int{0, 1, 2, 3}) {
+		t.Fatalf("serial short-circuit ran %v", ran)
+	}
+	// Parallel error: an error is returned and the fan-out stops early
+	// (not every index runs once the failure is observed).
+	var count atomic.Int32
+	err = ForEachIndexErr(1000, 4, func(i int) error {
+		count.Add(1)
+		if i == 0 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("parallel error = %v, want errTest", err)
+	}
+	if count.Load() == 1000 {
+		t.Log("note: all items ran before the failure was observed (legal but unexpected on index 0)")
 	}
 }
