@@ -1,0 +1,424 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/pipeline"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+// CacheBenchEntry is one row of BENCH_cache.json.
+//
+//   - mode "lookup-update": the frozen map+list cache (one global mutex,
+//     per-entry list nodes) vs the sharded array-backed plane (4 shards,
+//     each owned by one worker) driving the same access stream with W
+//     workers. Before timing, the harness verifies (a) single Cache ≡
+//     MapReference bitwise (hits/misses/evictions) and (b) the sharded
+//     plane's aggregate counters are identical at every worker count.
+//   - mode "pipeline": end-to-end batches/sec through pipeline.Run with
+//     Gather enabled, map-reference source vs cached source, at 1/2/4
+//     tensor workers; batch digests compared before timing.
+type CacheBenchEntry struct {
+	Policy  string `json:"policy"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+
+	OpsPerSecMap     float64 `json:"ops_per_sec_map,omitempty"`
+	OpsPerSecSharded float64 `json:"ops_per_sec_sharded,omitempty"`
+
+	BatchesPerSecMap   float64 `json:"batches_per_sec_map,omitempty"`
+	BatchesPerSecCache float64 `json:"batches_per_sec_cache,omitempty"`
+
+	Speedup float64 `json:"speedup"`
+
+	AllocsPerOpMap     float64 `json:"allocs_per_op_map,omitempty"`
+	AllocsPerOpSharded float64 `json:"allocs_per_op_sharded,omitempty"`
+}
+
+// CacheBenchReport is the whole BENCH_cache.json document.
+type CacheBenchReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Dataset    string            `json:"dataset"`
+	Shards     int               `json:"shards"`
+	Capacity   int               `json:"capacity"`
+	Entries    []CacheBenchEntry `json:"entries"`
+}
+
+const cacheBenchShards = 4
+
+var cacheBenchWorkerCounts = []int{1, 2, 4}
+
+// cacheAccessStream replays sampled input-node lists — the exact access
+// shape the pipeline's gather stage feeds the cache.
+func cacheAccessStream(g *graph.Graph, targets []int32, batches int) [][]int32 {
+	smp := &sample.NodeWise{Fanouts: []int{10, 5}}
+	plan := sample.EpochBatches(sample.EpochRNG(1, 0), targets, 512)
+	var out [][]int32
+	rng := rand.New(rand.NewSource(9))
+	for len(out) < batches {
+		for _, tg := range plan {
+			mb := smp.Sample(rng, g, tg)
+			nodes := make([]int32, len(mb.InputNodes))
+			copy(nodes, mb.InputNodes)
+			out = append(out, nodes)
+			if len(out) == batches {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mkKernel builds one policy's cache or its frozen reference.
+func mkKernel(policy cache.Policy, capacity int, g *graph.Graph, frozen bool) (cache.Kernel, error) {
+	if frozen {
+		if policy == cache.Freq {
+			return cache.NewMapReferenceWithOrder(policy, capacity, g.DegreeOrder())
+		}
+		return cache.NewMapReference(policy, capacity, g)
+	}
+	if policy == cache.Freq {
+		return cache.NewWithOrder(policy, capacity, g, g.DegreeOrder())
+	}
+	return cache.New(policy, capacity, g)
+}
+
+// driveSerial replays the whole stream against k, returning allocs/op
+// (one op = one batch's lookup+update).
+func driveSerial(k cache.Kernel, stream [][]int32) float64 {
+	var miss []int32
+	replay := func() {
+		for _, batch := range stream {
+			miss = k.LookupInto(miss[:0], batch)
+			k.Update(miss)
+		}
+	}
+	replay() // warm up scratch and slot tables
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	replay()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(len(stream))
+}
+
+// verifyKernelEquality replays the stream on both kernels and compares
+// miss lists and cumulative stats.
+func verifyKernelEquality(a, b cache.Kernel, stream [][]int32) error {
+	var ma, mb []int32
+	for bi, batch := range stream {
+		ma = a.LookupInto(ma[:0], batch)
+		mb = b.LookupInto(mb[:0], batch)
+		if len(ma) != len(mb) {
+			return fmt.Errorf("batch %d: miss count %d vs %d", bi, len(ma), len(mb))
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				return fmt.Errorf("batch %d: miss[%d] %d vs %d", bi, i, ma[i], mb[i])
+			}
+		}
+		if oa, ob := a.Update(ma), b.Update(mb); oa != ob {
+			return fmt.Errorf("batch %d: update ops %d vs %d", bi, oa, ob)
+		}
+	}
+	ha, sa, ua := a.Stats()
+	hb, sb, ub := b.Stats()
+	if ha != hb || sa != sb || ua != ub {
+		return fmt.Errorf("stats (%d,%d,%d) vs (%d,%d,%d)", ha, sa, ua, hb, sb, ub)
+	}
+	return nil
+}
+
+// splitByShard carves each batch into per-shard sub-streams.
+func splitByShard(s *cache.Shards, stream [][]int32) [][][]int32 {
+	sub := make([][][]int32, s.NumShards())
+	for _, batch := range stream {
+		perShard := make([][]int32, s.NumShards())
+		for _, v := range batch {
+			i := s.ShardOf(v)
+			perShard[i] = append(perShard[i], v)
+		}
+		for i := range perShard {
+			sub[i] = append(sub[i], perShard[i])
+		}
+	}
+	return sub
+}
+
+// mkShards builds the sharded plane for one policy.
+func mkShards(policy cache.Policy, capacity int, g *graph.Graph) (*cache.Shards, error) {
+	if policy == cache.Freq {
+		return cache.NewShardsWithOrder(policy, capacity, cacheBenchShards, g, g.DegreeOrder())
+	}
+	return cache.NewShards(policy, capacity, cacheBenchShards, g)
+}
+
+// timeSharded drives the sharded plane with W workers (each owning whole
+// shards) for `rounds` replays of the stream, returning batches/sec and
+// the aggregate counters for the equality check.
+func timeSharded(policy cache.Policy, capacity int, g *graph.Graph, sub [][][]int32, batches, workers, rounds int) (float64, [3]int64, error) {
+	s, err := mkShards(policy, capacity, g)
+	if err != nil {
+		return 0, [3]int64{}, err
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var miss []int32
+				for i := w; i < s.NumShards(); i += workers {
+					shard := s.Shard(i)
+					for _, batch := range sub[i] {
+						miss = shard.LookupInto(miss[:0], batch)
+						shard.Update(miss)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start).Seconds()
+	h, m, u := s.Stats()
+	return float64(rounds*batches) / elapsed, [3]int64{h, m, u}, nil
+}
+
+// timeMapShared drives one shared map+list cache with W workers splitting
+// the same per-shard sub-streams — the old architecture's global-mutex
+// contention, measured.
+func timeMapShared(policy cache.Policy, capacity int, g *graph.Graph, sub [][][]int32, batches, workers, rounds int) (float64, error) {
+	k, err := mkKernel(policy, capacity, g, true)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var miss []int32
+				for i := w; i < len(sub); i += workers {
+					for _, batch := range sub[i] {
+						miss = k.LookupInto(miss[:0], batch)
+						k.Update(miss)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	return float64(rounds*batches) / time.Since(start).Seconds(), nil
+}
+
+// pipelineDigest fingerprints a full pipeline run through a source.
+func pipelineDigest(cfg pipeline.Config) (float64, int, error) {
+	var sum float64
+	n := 0
+	err := pipeline.Run(cfg, func(b *pipeline.Batch) error {
+		n++
+		sum += float64(b.Miss) + float64(b.CacheOps)*1e3 + float64(b.TransferBytes)*1e-6
+		if b.Feats != nil {
+			for _, v := range b.Feats.Data {
+				sum += v
+			}
+		}
+		return nil
+	}, nil)
+	return sum, n, err
+}
+
+// runCacheBench measures the frozen map+list cache against the sharded
+// array-backed feature plane and writes BENCH_cache.json.
+func runCacheBench(outPath string) error {
+	ds, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		return err
+	}
+	g := ds.Graph
+	// The lookup+update microbench compares residency tracking only: the
+	// frozen map+list never owned feature rows, so the array-backed side
+	// is built over a topology-only view of the graph (no row storage,
+	// no admission copies). The end-to-end pipeline half below uses the
+	// full row-owning cached source.
+	topo := *g
+	topo.Features = nil
+	capacity := g.NumVertices() / 5
+	const batches = 48
+	stream := cacheAccessStream(g, ds.TrainIdx, batches)
+
+	report := CacheBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Dataset:    ds.Name,
+		Shards:     cacheBenchShards,
+		Capacity:   capacity,
+	}
+
+	for _, policy := range cache.Policies() {
+		// Equality gate 1: single array-backed cache ≡ frozen reference.
+		kNew, err := mkKernel(policy, capacity, &topo, false)
+		if err != nil {
+			return err
+		}
+		kRef, err := mkKernel(policy, capacity, &topo, true)
+		if err != nil {
+			return err
+		}
+		if err := verifyKernelEquality(kNew, kRef, stream); err != nil {
+			return fmt.Errorf("%s: kernel equality: %w", policy, err)
+		}
+		allocsNew := driveSerial(kNew, stream)
+		allocsRef := driveSerial(kRef, stream)
+
+		// Equality gate 2: sharded counters identical at every W.
+		sRef, err := mkShards(policy, capacity, &topo)
+		if err != nil {
+			return err
+		}
+		sub := splitByShard(sRef, stream)
+		var want [3]int64
+		for i, workers := range cacheBenchWorkerCounts {
+			_, got, err := timeSharded(policy, capacity, &topo, sub, batches, workers, 1)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				want = got
+			} else if got != want {
+				return fmt.Errorf("%s: sharded counters diverge at %d workers: %v vs %v",
+					policy, workers, got, want)
+			}
+		}
+
+		// Timed: lookup+update throughput per worker count.
+		rounds := 6
+		for _, workers := range cacheBenchWorkerCounts {
+			mapBps, err := timeMapShared(policy, capacity, &topo, sub, batches, workers, rounds)
+			if err != nil {
+				return err
+			}
+			shardBps, _, err := timeSharded(policy, capacity, &topo, sub, batches, workers, rounds)
+			if err != nil {
+				return err
+			}
+			e := CacheBenchEntry{
+				Policy: string(policy), Mode: "lookup-update", Workers: workers,
+				OpsPerSecMap: mapBps, OpsPerSecSharded: shardBps,
+				Speedup:        shardBps / mapBps,
+				AllocsPerOpMap: allocsRef, AllocsPerOpSharded: allocsNew,
+			}
+			report.Entries = append(report.Entries, e)
+			fmt.Printf("%-8s lookup+update w=%d  map %9.1f op/s (%5.1f allocs)   sharded %9.1f op/s (%4.1f allocs)   %.2fx\n",
+				policy, workers, mapBps, allocsRef, shardBps, allocsNew, e.Speedup)
+		}
+
+		// End-to-end: pipeline batches/sec, map source vs cached source.
+		mkCfg := func(src cache.FeatureSource) pipeline.Config {
+			return pipeline.Config{
+				Graph:     g,
+				Sampler:   &sample.NodeWise{Fanouts: []int{10, 5}},
+				Source:    src,
+				Seed:      1,
+				Epochs:    2,
+				BatchSize: 512,
+				Targets:   ds.TrainIdx,
+				Shuffle:   true,
+				Gather:    true,
+				Prefetch:  2,
+			}
+		}
+		newSrc := func() (cache.FeatureSource, error) {
+			k, err := mkKernel(policy, capacity, g, false)
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewCachedSource(k.(*cache.Cache), g), nil
+		}
+		refSrc := func() (cache.FeatureSource, error) {
+			k, err := mkKernel(policy, capacity, g, true)
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewKernelSource(k, g), nil
+		}
+		// Digest equality before timing.
+		srcA, err := newSrc()
+		if err != nil {
+			return err
+		}
+		srcB, err := refSrc()
+		if err != nil {
+			return err
+		}
+		dA, nA, err := pipelineDigest(mkCfg(srcA))
+		if err != nil {
+			return err
+		}
+		dB, nB, err := pipelineDigest(mkCfg(srcB))
+		if err != nil {
+			return err
+		}
+		if dA != dB || nA != nB {
+			return fmt.Errorf("%s: pipeline digests diverge: (%v,%d) vs (%v,%d)", policy, dA, nA, dB, nB)
+		}
+		for _, workers := range cacheBenchWorkerCounts {
+			restore := tensor.WithParallelism(workers)
+			timeRun := func(mk func() (cache.FeatureSource, error)) (float64, error) {
+				src, err := mk()
+				if err != nil {
+					return 0, err
+				}
+				start := time.Now()
+				_, n, err := pipelineDigest(mkCfg(src))
+				if err != nil {
+					return 0, err
+				}
+				return float64(n) / time.Since(start).Seconds(), nil
+			}
+			mapBps, err := timeRun(refSrc)
+			if err != nil {
+				restore()
+				return err
+			}
+			cacheBps, err := timeRun(newSrc)
+			restore()
+			if err != nil {
+				return err
+			}
+			e := CacheBenchEntry{
+				Policy: string(policy), Mode: "pipeline", Workers: workers,
+				BatchesPerSecMap: mapBps, BatchesPerSecCache: cacheBps,
+				Speedup: cacheBps / mapBps,
+			}
+			report.Entries = append(report.Entries, e)
+			fmt.Printf("%-8s pipeline      w=%d  map %9.1f b/s              cached  %9.1f b/s              %.2fx\n",
+				policy, workers, mapBps, cacheBps, e.Speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}

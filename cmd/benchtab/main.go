@@ -9,9 +9,9 @@
 // Experiments: fig1a, fig1b, fig5, fig6, table1, table2,
 // ablation-pruning, ablation-cache, ablation-pipeline, all.
 //
-// Perf tooling: -parallel-bench, -pipeline-bench and -sample-bench write
-// the BENCH_*.json trajectory files; -cpuprofile/-memprofile capture
-// pprof profiles of whichever mode runs.
+// Perf tooling: -parallel-bench, -pipeline-bench, -sample-bench and
+// -cache-bench write the BENCH_*.json trajectory files;
+// -cpuprofile/-memprofile capture pprof profiles of whichever mode runs.
 package main
 
 import (
@@ -51,6 +51,8 @@ func main() {
 		pipOut   = flag.String("pipeline-out", "BENCH_pipeline.json", "output path for -pipeline-bench")
 		smpBench = flag.Bool("sample-bench", false, "measure map-based vs frontier-table sampler throughput and write BENCH_sample.json")
 		smpOut   = flag.String("sample-out", "BENCH_sample.json", "output path for -sample-bench")
+		cchBench = flag.Bool("cache-bench", false, "measure map+list vs sharded array-backed cache throughput and write BENCH_cache.json")
+		cchOut   = flag.String("cache-out", "BENCH_cache.json", "output path for -cache-bench")
 		dseBench = flag.Bool("dse-bench", false, "measure serial vs parallel design-space exploration + calibration collection and write BENCH_dse.json")
 		dseOut   = flag.String("dse-out", "BENCH_dse.json", "output path for -dse-bench")
 		dseQuick = flag.Bool("dse-quick", false, "shrink -dse-bench to a tiny space and {1,2} workers (CI smoke)")
@@ -81,6 +83,7 @@ func main() {
 		parBench: *parBench, parOut: *parOut,
 		pipBench: *pipBench, pipOut: *pipOut,
 		smpBench: *smpBench, smpOut: *smpOut,
+		cchBench: *cchBench, cchOut: *cchOut,
 		dseBench: *dseBench, dseOut: *dseOut, dseQuick: *dseQuick,
 	})
 	if *cpuProf != "" {
@@ -111,6 +114,8 @@ type benchModes struct {
 	pipOut   string
 	smpBench bool
 	smpOut   string
+	cchBench bool
+	cchOut   string
 	dseBench bool
 	dseOut   string
 	dseQuick bool
@@ -133,6 +138,12 @@ func dispatch(exp string, full bool, m benchModes) error {
 	if m.smpBench {
 		if err := runSampleBench(m.smpOut); err != nil {
 			return fmt.Errorf("sample-bench: %w", err)
+		}
+		return nil
+	}
+	if m.cchBench {
+		if err := runCacheBench(m.cchOut); err != nil {
+			return fmt.Errorf("cache-bench: %w", err)
 		}
 		return nil
 	}

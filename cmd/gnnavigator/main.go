@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"gnnavigator/internal/cache"
 	"gnnavigator/internal/core"
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/dse"
@@ -36,6 +37,7 @@ func main() {
 		maxTime   = flag.Float64("max-time", 0, "epoch time budget in seconds (0 = unconstrained)")
 		minAcc    = flag.Float64("min-acc", 0, "minimum accuracy in [0,1] (0 = unconstrained)")
 		samples   = flag.Int("calib-samples", 14, "estimator calibration probes per dataset")
+		policies  = flag.String("policies", "", "comma-separated cache policies to explore (none,static,freq,fifo,lru); empty = default space")
 		epochs    = flag.Int("epochs", 3, "training epochs")
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -72,6 +74,20 @@ func main() {
 	if !valid {
 		log.Fatalf("unknown priority %q", *priority)
 	}
+	// A -policies list narrows the explored cache-policy dimension (the
+	// rest of the space stays at the default grid); "freq" selects the
+	// pre-sample-admission policy introduced with the feature plane.
+	space := dse.DefaultSpace()
+	if *policies != "" {
+		space.Policies = space.Policies[:0]
+		for _, s := range strings.Split(*policies, ",") {
+			pol := cache.Policy(strings.TrimSpace(s))
+			if !pol.Valid() {
+				log.Fatalf("unknown cache policy %q; have none, static, freq, fifo, lru", s)
+			}
+			space.Policies = append(space.Policies, pol)
+		}
+	}
 
 	fmt.Fprintf(os.Stderr, "calibrating estimator (leave-one-out over %v)...\n", otherDatasets(*dsName))
 	nav, err := core.New(core.Input{
@@ -84,6 +100,7 @@ func main() {
 			MaxMemoryGB: *maxMem,
 			MinAccuracy: *minAcc,
 		},
+		Space:        space,
 		CalibSamples: *samples,
 		Epochs:       *epochs,
 		Prefetch:     *prefetch,

@@ -42,6 +42,14 @@ func TestRunPrefetchBitwiseEqualSerial(t *testing.T) {
 			c.CachePolicy = cache.LRU
 			c.BiasRate = 0.9
 		}},
+		// Frequency pre-fill: the pre-sample admission pass must be
+		// deterministic and independent of the pipeline depth, and the
+		// immutable residency lets the bias run unfused.
+		{"freq-bias", func(c *Config) {
+			c.CacheRatio = 0.2
+			c.CachePolicy = cache.Freq
+			c.BiasRate = 0.9
+		}},
 		// No cache at all, SAINT sampler for coverage of a second sampler.
 		{"saint-no-cache", func(c *Config) {
 			c.Sampler = SamplerSAINT

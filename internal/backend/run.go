@@ -1,8 +1,10 @@
 package backend
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"gnnavigator/internal/cache"
@@ -34,17 +36,21 @@ type Perf struct {
 	Feasible bool
 
 	// Diagnostics.
-	HitRate         float64
-	MeanBatchSize   float64 // mean measured |V_i| (scaled graph)
-	PeakBatchSize   int
-	PeakBatchEdges  int
-	MeanBatchEdges  float64
-	Breakdown       sim.MemoryBreakdown
-	EpochTimes      []float64
-	AccuracyHistory []float64 // validation accuracy after each epoch
-	TimeBreakdown   sim.BatchTiming
-	WallSec         float64 // actual Go wall-clock spent (informational)
-	Iterations      int
+	HitRate float64
+	// TransferredBytes is the cumulative host→device feature traffic the
+	// feature plane measured on the scaled run (scaled feature width);
+	// the simulator rescales it per batch into Eq. 6's t_transfer.
+	TransferredBytes int64
+	MeanBatchSize    float64 // mean measured |V_i| (scaled graph)
+	PeakBatchSize    int
+	PeakBatchEdges   int
+	MeanBatchEdges   float64
+	Breakdown        sim.MemoryBreakdown
+	EpochTimes       []float64
+	AccuracyHistory  []float64 // validation accuracy after each epoch
+	TimeBreakdown    sim.BatchTiming
+	WallSec          float64 // actual Go wall-clock spent (informational)
+	Iterations       int
 }
 
 // Options tunes how much real work Run performs; the zero value means
@@ -127,17 +133,40 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 
 	// Device cache sized as a fraction of the scaled graph (the ratio is
 	// scale-invariant; memory accounting uses the full-scale ratio).
+	// Every run gathers through one feature plane: the direct graph
+	// source when nothing is cached, the cached source otherwise.
 	capVertices := int(cfg.CacheRatio * float64(g.NumVertices()))
 	policy := cfg.CachePolicy
 	if capVertices == 0 {
 		policy = cache.None
 	}
-	devCache, err := cache.New(policy, capVertices, g)
-	if err != nil {
-		return nil, err
+	var src cache.FeatureSource
+	switch {
+	case policy == cache.None:
+		src = cache.NewGraphSource(g)
+	case policy == cache.Freq:
+		// Pre-sample admission: an unbiased instance of the run's own
+		// sampler replays a salted epoch plan, and the most frequently
+		// touched input vertices fill the cache before training.
+		preSmp, _, err := buildSampler(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		order := freqAdmissionOrder(cfg, g, ds.TrainIdx, preSmp)
+		devCache, err := cache.NewWithOrder(cache.Freq, capVertices, g, order)
+		if err != nil {
+			return nil, err
+		}
+		src = cache.NewCachedSource(devCache, g)
+	default:
+		devCache, err := cache.New(policy, capVertices, g)
+		if err != nil {
+			return nil, err
+		}
+		src = cache.NewCachedSource(devCache, g)
 	}
 
-	smp, walkSteps, err := buildSampler(cfg, devCache)
+	smp, walkSteps, err := buildSampler(cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +250,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			TargetVertices:   len(b.Targets),
 			InputVertices:    len(mb.InputNodes),
 			MissVertices:     b.Miss,
+			TransferBytes:    float64(b.TransferBytes),
 			CacheUpdateOps:   b.CacheOps,
 			SampledEdges:     mb.NumEdges,
 			FLOPs:            mdl.FLOPs(mb),
@@ -280,7 +310,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	err = pipeline.Run(pipeline.Config{
 		Graph:     g,
 		Sampler:   smp,
-		Cache:     devCache,
+		Source:    src,
 		Seed:      cfg.Seed,
 		Epochs:    cfg.Epochs,
 		BatchSize: cfg.BatchSize,
@@ -288,10 +318,11 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		Shuffle:   true,
 		Gather:    !opts.SkipTraining,
 		Prefetch:  prefetch,
-		// Keyed on the cache's effective policy, not cfg.CachePolicy: a
-		// zero-capacity cache is downgraded to None above, and a None/
-		// Static cache never needs stage fusion.
-		CoupledSampler: cfg.BiasRate > 0 && devCache.Policy().Dynamic(),
+		// Keyed on the effective policy, not cfg.CachePolicy: a
+		// zero-capacity cache is downgraded to None above, and a
+		// prefilled (None/Static/Freq) residency never needs stage
+		// fusion.
+		CoupledSampler: cfg.BiasRate > 0 && policy.Dynamic(),
 	}, consume, epochEnd)
 	if err != nil {
 		return nil, err
@@ -310,7 +341,8 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		sumEpoch += t
 	}
 	perf.TimeSec = sumEpoch / float64(len(perf.EpochTimes))
-	perf.HitRate = devCache.HitRate()
+	perf.HitRate = src.HitRate()
+	perf.TransferredBytes = src.TransferredBytes()
 
 	// Eq. 9-10 memory at paper scale.
 	hidden := 0
@@ -346,17 +378,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 }
 
 // buildSampler wires the configured sampling strategy, including the
-// cache-aware bias (2PGraph) when BiasRate > 0. It returns the per-target
-// random-walk step count for host-cost accounting (SAINT only).
-func buildSampler(cfg Config, devCache *cache.Cache) (sample.Sampler, int, error) {
+// cache-aware bias (2PGraph) when BiasRate > 0 and a residency view is
+// supplied — the feature plane implements sample.Residency, so p(η)
+// reads device residency through the same abstraction the gather stage
+// transfers through. It returns the per-target random-walk step count
+// for host-cost accounting (SAINT only).
+func buildSampler(cfg Config, res sample.Residency) (sample.Sampler, int, error) {
 	var bias sample.BiasFunc
-	if cfg.BiasRate > 0 {
-		bias = func(v int32) float64 {
-			if devCache.Contains(v) {
-				return 1
-			}
-			return 0
-		}
+	if cfg.BiasRate > 0 && res != nil {
+		bias = sample.ResidencyBias(res)
 	}
 	switch cfg.Sampler {
 	case SamplerSAGE:
@@ -377,6 +407,49 @@ func buildSampler(cfg Config, devCache *cache.Cache) (sample.Sampler, int, error
 			cfg.WalkLength, nil
 	}
 	return nil, 0, fmt.Errorf("backend: unknown sampler %q", cfg.Sampler)
+}
+
+// freqSeedSalt decorrelates the pre-sampling pass's RNG chain from the
+// training epochs' (sample.BatchRNG over (Seed, epoch, batch)): the
+// admission counts come from a statistically identical but independent
+// replay of one epoch plan.
+const freqSeedSalt = 0x5eed
+
+// freqAdmissionOrder measures which input vertices one epoch of the
+// run's own (unbiased) sampler actually touches and returns all
+// vertices ordered by access count descending (ties by ascending id),
+// with never-touched vertices appended in degree order so a large cache
+// still fills deterministically. The Freq policy admits the first
+// capacity entries — pre-sample admission instead of Static's degree
+// heuristic.
+func freqAdmissionOrder(cfg Config, g *graph.Graph, targets []int32, smp sample.Sampler) []int32 {
+	counts := make([]int64, g.NumVertices())
+	seed := cfg.Seed + freqSeedSalt
+	plan := sample.EpochBatches(sample.EpochRNG(seed, 0), targets, cfg.BatchSize)
+	for i, tg := range plan {
+		mb := smp.Sample(sample.BatchRNG(seed, 0, i), g, tg)
+		for _, v := range mb.InputNodes {
+			counts[v]++
+		}
+	}
+	order := make([]int32, 0, len(counts))
+	for v := range counts {
+		if counts[v] > 0 {
+			order = append(order, int32(v))
+		}
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if counts[a] != counts[b] {
+			return cmp.Compare(counts[b], counts[a])
+		}
+		return cmp.Compare(a, b)
+	})
+	for _, v := range g.DegreeOrder() {
+		if counts[v] == 0 {
+			order = append(order, v)
+		}
+	}
+	return order
 }
 
 // analyticFullBound is the τ=1 bound of Eq. 12 at paper scale: the

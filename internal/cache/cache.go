@@ -9,15 +9,42 @@
 //   - None:   PyG — nothing is cached, everything is transferred.
 //   - Static: PaGraph — the cache is pre-filled with the highest-degree
 //     vertices and never updated (cachepolicy = None in the template).
+//   - Freq:   frequency pre-fill — the cache is pre-filled with the
+//     vertices most frequently touched by a pre-sampling pass of the
+//     run's own sampler (pre-sample admission), then frozen like Static.
+//     Degree order approximates access frequency; Freq measures it.
 //   - FIFO:   a dynamic policy that admits misses and evicts in insertion
 //     order.
 //   - LRU:    a dynamic policy that evicts the least-recently-used entry.
+//
+// Layout: the cache is array-backed. Residency is a dense slot table
+// (slot[v] int32, −1 = absent) over the vertex space; eviction order is
+// an intrusive doubly-linked ring threaded through per-slot next/prev
+// arrays (no per-entry heap nodes, no container/list); static residency
+// additionally keeps a bitset so the biased-sampling hot loop probes one
+// bit instead of four bytes; and hit/miss/update counters are atomics.
+// Steady-state LookupInto+Update performs zero allocations and zero
+// hashing. The pre-refactor map+list implementation is frozen in
+// mapref.go (NewMapReference) and the equivalence tests pin both to
+// identical hits, misses and evictions for every policy.
+//
+// Concurrency contract (sharper than the old mutex-guarded version):
+// exactly one goroutine — the pipeline's cache stage — may issue
+// Lookup/LookupInto/Update, in batch order. Residency reads (Contains)
+// and the counter accessors (Len, Stats, HitRate) are lock-free and safe
+// from any goroutine concurrently with the writer; this is what lets
+// cache-aware samplers probe residency without serializing against the
+// gather stage. Determinism is still an ordering property: biased
+// samplers whose p(η) reads residency of a *dynamic* (FIFO/LRU) cache
+// must run fused with the cache stage (pipeline.Config.CoupledSampler).
+// Static and Freq residency is immutable after construction, so Contains
+// is order-independent and samplers may read it freely.
 package cache
 
 import (
-	"container/list"
 	"fmt"
-	"sync"
+	"math/bits"
+	"sync/atomic"
 
 	"gnnavigator/internal/graph"
 )
@@ -29,76 +56,205 @@ type Policy string
 const (
 	None   Policy = "none"
 	Static Policy = "static"
+	Freq   Policy = "freq"
 	FIFO   Policy = "fifo"
 	LRU    Policy = "lru"
 )
 
 // Policies lists all supported policies in presentation order.
-func Policies() []Policy { return []Policy{None, Static, FIFO, LRU} }
+func Policies() []Policy { return []Policy{None, Static, Freq, FIFO, LRU} }
 
 // Valid reports whether p is a known policy.
 func (p Policy) Valid() bool {
 	switch p {
-	case None, Static, FIFO, LRU:
+	case None, Static, Freq, FIFO, LRU:
 		return true
 	}
 	return false
 }
 
-// Cache is a vertex-feature cache with hit/miss accounting.
-//
-// Concurrency contract: all methods are mutex-guarded, so the pipelined
-// engine's lookup stage may run ahead of the training consumer while
-// cache-aware samplers call Contains from another goroutine. Determinism,
-// however, is an ordering property the mutex cannot provide: exactly one
-// goroutine (the pipeline's cache stage) must issue Lookup/Update, in
-// batch order. Biased samplers whose p(η) reads residency of a *dynamic*
-// (FIFO/LRU) cache must run fused with that stage — see
-// pipeline.Config.CoupledSampler — because residency then depends on how
-// far the updates have progressed. Static caches are immutable after New,
-// so Contains is order-independent and samplers may read them freely.
+// Dynamic reports whether the policy mutates residency at run time
+// (FIFO/LRU). None never holds anything; Static and Freq are frozen
+// after construction.
+func (p Policy) Dynamic() bool { return p == FIFO || p == LRU }
+
+// Prefilled reports whether the policy fixes residency up front from an
+// admission order (Static from degree order, Freq from pre-sampled
+// access frequency).
+func (p Policy) Prefilled() bool { return p == Static || p == Freq }
+
+// Kernel is the lookup/update surface shared by the array-backed Cache
+// and the frozen MapReference: what the feature plane (source.go), the
+// equivalence tests and benchtab -cache-bench program against.
+type Kernel interface {
+	Policy() Policy
+	Capacity() int
+	Len() int
+	Contains(v int32) bool
+	// Lookup records an access to each node and returns the subset that
+	// missed; LookupInto is the zero-alloc variant appending into dst's
+	// storage (pass the previous result's [:0] to amortize).
+	Lookup(nodes []int32) []int32
+	LookupInto(dst, nodes []int32) []int32
+	// Update admits missed vertices per the policy and returns the number
+	// of replacement operations performed.
+	Update(miss []int32) int
+	Stats() (hits, misses, updates int64)
+	HitRate() float64
+	ResetStats()
+}
+
+// Cache is the array-backed vertex-feature cache with hit/miss
+// accounting. See the package comment for the layout and the
+// single-writer concurrency contract. When constructed over a graph
+// with features, the cache actually owns its resident feature rows
+// (RowOf): admissions copy the row into slot storage, so hits can be
+// served from device memory instead of re-reading the host array.
 type Cache struct {
-	mu       sync.Mutex
 	policy   Policy
 	capacity int
 
-	resident map[int32]*list.Element
-	order    *list.List // FIFO/LRU ordering; front = next eviction victim
+	// slots maps vertex -> slot index (−1 = absent). It is published
+	// through an atomic pointer so lock-free Contains readers survive the
+	// lazy growth a graph-less cache performs on first admission; slot
+	// values themselves are written/read with element atomics.
+	slots atomic.Pointer[[]int32]
 
-	hits, misses   int64
-	updates        int64 // admissions + evictions performed by dynamic policies
-	staticResident map[int32]bool
+	// Intrusive eviction ring over slot indices: next/prev thread the
+	// FIFO/LRU order through the slot arrays, head is the next victim,
+	// tail the most recent admission. Writer-only state.
+	next, prev []int32
+	head, tail int32
+
+	// vertexOf inverts the slot table (slot -> vertex). Writer-only.
+	vertexOf []int32
+	size     atomic.Int32
+
+	// static is the residency bitset for prefilled policies — one bit
+	// per vertex, immutable after construction, probed lock-free by the
+	// biased-sampling hot loop.
+	static    []uint64
+	staticLen int
+
+	// rows holds the resident feature rows in slot order (capacity ×
+	// featDim float32), nil when the cache was built without features;
+	// g is the host-side feature store admissions copy from.
+	rows    []float32
+	featDim int
+	g       *graph.Graph
+
+	hits, misses, updates atomic.Int64
 }
 
 // New builds a cache with the given policy and capacity (in vertices).
 // For Static, the cache is pre-filled with the capacity highest-degree
-// vertices of g (PaGraph's policy); g may be nil for other policies.
+// vertices of g (PaGraph's policy). Freq needs an explicit admission
+// order — use NewWithOrder. g may be nil for None/FIFO/LRU, in which
+// case the cache tracks residency only (no feature rows) and grows its
+// slot table lazily.
 func New(policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
+	if policy == Freq {
+		return nil, fmt.Errorf("cache: freq policy needs a pre-sampled admission order; use NewWithOrder")
+	}
+	var order []int32
+	if policy == Static {
+		if g == nil {
+			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
+		}
+		order = g.DegreeOrder()
+	}
+	return NewWithOrder(policy, capacity, g, order)
+}
+
+// NewWithOrder builds a cache whose prefilled residency (Static/Freq)
+// comes from the given admission order: the first capacity vertices of
+// order become resident. For dynamic policies and None the order is
+// ignored. This is also how Freq caches are made — the backend
+// pre-samples the run's own batch plan, counts vertex accesses, and
+// passes the frequency-descending order here.
+func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*Cache, error) {
 	if !policy.Valid() {
 		return nil, fmt.Errorf("cache: unknown policy %q", policy)
 	}
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
 	}
-	c := &Cache{
-		policy:   policy,
-		capacity: capacity,
-		resident: make(map[int32]*list.Element),
-		order:    list.New(),
+	c := &Cache{policy: policy, capacity: capacity, head: -1, tail: -1}
+	if g != nil {
+		c.growSlots(int32(g.NumVertices() - 1))
+		if g.Features != nil && capacity > 0 && policy != None {
+			c.featDim = g.FeatDim
+			c.g = g
+			c.rows = make([]float32, min(capacity, g.NumVertices())*g.FeatDim)
+		}
+	} else {
+		empty := []int32{}
+		c.slots.Store(&empty)
 	}
-	if policy == Static {
-		if g == nil {
-			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
+	if policy.Dynamic() {
+		c.next = make([]int32, capacity)
+		c.prev = make([]int32, capacity)
+		c.vertexOf = make([]int32, capacity)
+	}
+	if policy.Prefilled() {
+		if order == nil {
+			return nil, fmt.Errorf("cache: %s policy requires an admission order", policy)
 		}
-		c.staticResident = make(map[int32]bool, capacity)
-		for i, v := range g.DegreeOrder() {
-			if i >= capacity {
-				break
+		n := min(capacity, len(order))
+		c.vertexOf = make([]int32, n)
+		var maxV int32 = -1
+		for _, v := range order[:n] {
+			if v > maxV {
+				maxV = v
 			}
-			c.staticResident[v] = true
 		}
+		c.growSlots(maxV)
+		c.static = make([]uint64, int(maxV)/64+1)
+		slots := *c.slots.Load()
+		for i, v := range order[:n] {
+			c.static[v>>6] |= 1 << (uint(v) & 63)
+			slots[v] = int32(i)
+			c.vertexOf[i] = v
+			if c.rows != nil && g != nil {
+				copy(c.rows[i*c.featDim:(i+1)*c.featDim], g.Feature(v))
+			}
+		}
+		c.staticLen = n
 	}
 	return c, nil
+}
+
+// growSlots ensures the slot table covers vertex v, publishing a larger
+// array when needed. Writer-side only; readers keep seeing a consistent
+// (possibly stale-length) snapshot through the atomic pointer.
+func (c *Cache) growSlots(v int32) {
+	cur := c.slots.Load()
+	var old []int32
+	if cur != nil {
+		old = *cur
+	}
+	if int(v) < len(old) {
+		return
+	}
+	n := max(64, len(old)*2)
+	for n <= int(v) {
+		n *= 2
+	}
+	grown := make([]int32, n)
+	copy(grown, old)
+	for i := len(old); i < n; i++ {
+		grown[i] = -1
+	}
+	c.slots.Store(&grown)
+}
+
+// slotOf returns v's slot (−1 absent) via the lock-free read path.
+func (c *Cache) slotOf(v int32) int32 {
+	arr := *c.slots.Load()
+	if int(v) >= len(arr) {
+		return -1
+	}
+	return atomic.LoadInt32(&arr[v])
 }
 
 // Policy returns the cache's policy.
@@ -107,114 +263,223 @@ func (c *Cache) Policy() Policy { return c.policy }
 // Capacity returns the capacity in vertices.
 func (c *Cache) Capacity() int { return c.capacity }
 
-// Dynamic reports whether the policy mutates residency at run time
-// (FIFO/LRU). None never holds anything and Static is frozen after New.
-func (p Policy) Dynamic() bool { return p == FIFO || p == LRU }
-
 // Len returns the number of currently resident vertices.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.policy == Static {
-		return len(c.staticResident)
+	if c.policy.Prefilled() {
+		return c.staticLen
 	}
-	return len(c.resident)
+	return int(c.size.Load())
 }
 
 // Contains reports whether v is resident without touching accounting or
-// recency state.
+// recency state. Lock-free: prefilled policies probe the immutable
+// bitset, dynamic policies read the slot table atomically (the value a
+// concurrent reader sees is some batch-boundary-consistent residency;
+// order-dependent consumers must run fused with the writer stage).
 func (c *Cache) Contains(v int32) bool {
-	if c.policy == Static {
-		// staticResident is immutable after New: lock-free read keeps the
-		// biased-sampling hot loop cheap and order-independent.
-		return c.staticResident[v]
+	if c.policy.Prefilled() {
+		return c.staticBit(v)
 	}
-	c.mu.Lock()
-	_, ok := c.resident[v]
-	c.mu.Unlock()
-	return ok
+	if c.policy == None {
+		return false
+	}
+	return c.slotOf(v) >= 0
 }
 
-// Lookup records an access to each node and returns the subset that missed
-// (these must be transferred from the host). For LRU, hits refresh
-// recency.
-func (c *Cache) Lookup(nodes []int32) (miss []int32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, v := range nodes {
-		if c.policy == Static {
-			if c.staticResident[v] {
-				c.hits++
-			} else {
-				c.misses++
-				miss = append(miss, v)
-			}
-			continue
-		}
-		if el, ok := c.resident[v]; ok {
-			c.hits++
-			if c.policy == LRU {
-				c.order.MoveToBack(el)
-			}
-			continue
-		}
-		c.misses++
-		miss = append(miss, v)
+func (c *Cache) staticBit(v int32) bool {
+	w := int(v) >> 6
+	return w < len(c.static) && c.static[w]>>(uint(v)&63)&1 == 1
+}
+
+// RowOf returns the resident feature row of v from device-side slot
+// storage, or nil when v is absent or the cache owns no rows. The
+// vertexOf check guards the one hazard of slot reuse: a slot admitted
+// for v earlier in the batch may have been evicted and refilled for a
+// different vertex by a later admission. Single-stage use only (the
+// gather path); not safe concurrently with Update.
+func (c *Cache) RowOf(v int32) []float32 {
+	if c.rows == nil {
+		return nil
 	}
-	return miss
+	s := c.slotOf(v)
+	if s < 0 || c.vertexOf[s] != v {
+		return nil
+	}
+	return c.rows[int(s)*c.featDim : (int(s)+1)*c.featDim]
+}
+
+// Lookup records an access to each node and returns the subset that
+// missed (these must be transferred from the host). For LRU, hits
+// refresh recency. Allocates the returned slice; hot paths should use
+// LookupInto.
+func (c *Cache) Lookup(nodes []int32) []int32 { return c.LookupInto(nil, nodes) }
+
+// LookupInto is Lookup appending the misses into dst's storage (pass
+// the previous result's [:0] to make steady-state lookup 0 allocs/op).
+// Writer-stage only.
+func (c *Cache) LookupInto(dst, nodes []int32) []int32 {
+	var hits, misses int64
+	switch {
+	case c.policy.Prefilled():
+		for _, v := range nodes {
+			if c.staticBit(v) {
+				hits++
+			} else {
+				misses++
+				dst = append(dst, v)
+			}
+		}
+	case c.policy == None:
+		misses = int64(len(nodes))
+		dst = append(dst, nodes...)
+	default:
+		// Hoist the slot-array snapshot out of the loop: the writer is
+		// the only goroutine that swaps it (growSlots), so one load
+		// covers the whole batch.
+		arr := *c.slots.Load()
+		lru := c.policy == LRU
+		for _, v := range nodes {
+			s := int32(-1)
+			if int(v) < len(arr) {
+				s = atomic.LoadInt32(&arr[v])
+			}
+			if s < 0 {
+				misses++
+				dst = append(dst, v)
+				continue
+			}
+			hits++
+			if lru {
+				c.moveToBack(s)
+			}
+		}
+	}
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+	return dst
 }
 
 // Update admits missed vertices according to the policy, evicting as
 // needed, and returns the number of replacement operations performed
-// (the stale-data volume of Eq. 5). None and Static never update.
+// (the stale-data volume of Eq. 5). None, Static and Freq never update.
+// Writer-stage only; zero allocations once the slot table covers the
+// touched vertex range.
 func (c *Cache) Update(miss []int32) int {
-	if c.policy == None || c.policy == Static || c.capacity == 0 {
+	if !c.policy.Dynamic() || c.capacity == 0 {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// One growth check covers the batch, so the admission loop works on
+	// a single slot-array snapshot.
+	maxV := int32(-1)
+	for _, v := range miss {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV >= 0 {
+		c.growSlots(maxV)
+	}
+	arr := *c.slots.Load()
 	var ops int
 	for _, v := range miss {
-		if _, ok := c.resident[v]; ok {
+		if atomic.LoadInt32(&arr[v]) >= 0 {
 			continue
 		}
-		if len(c.resident) >= c.capacity {
-			victim := c.order.Front()
-			if victim == nil {
+		var s int32
+		if n := c.size.Load(); int(n) >= c.capacity {
+			victim := c.head
+			if victim < 0 {
 				break
 			}
-			delete(c.resident, victim.Value.(int32))
-			c.order.Remove(victim)
+			c.unlink(victim)
+			atomic.StoreInt32(&arr[c.vertexOf[victim]], -1)
 			ops++
+			s = victim
+		} else {
+			s = n
+			c.size.Store(n + 1)
 		}
-		c.resident[v] = c.order.PushBack(v)
+		atomic.StoreInt32(&arr[v], s)
+		c.vertexOf[s] = v
+		if c.rows != nil {
+			// The admission is the transfer: the row lands in device
+			// slot storage, where later hits read it back.
+			copy(c.rows[int(s)*c.featDim:(int(s)+1)*c.featDim], c.g.Feature(v))
+		}
+		c.pushBack(s)
 		ops++
 	}
-	c.updates += int64(ops)
+	c.updates.Add(int64(ops))
 	return ops
 }
 
+// --- intrusive ring ------------------------------------------------------
+
+// pushBack appends slot s at the ring's tail (most recently admitted /
+// used position).
+func (c *Cache) pushBack(s int32) {
+	c.next[s] = -1
+	c.prev[s] = c.tail
+	if c.tail >= 0 {
+		c.next[c.tail] = s
+	} else {
+		c.head = s
+	}
+	c.tail = s
+}
+
+// unlink removes slot s from the ring.
+func (c *Cache) unlink(s int32) {
+	if c.prev[s] >= 0 {
+		c.next[c.prev[s]] = c.next[s]
+	} else {
+		c.head = c.next[s]
+	}
+	if c.next[s] >= 0 {
+		c.prev[c.next[s]] = c.prev[s]
+	} else {
+		c.tail = c.prev[s]
+	}
+}
+
+// moveToBack refreshes slot s to the ring's tail (LRU hit).
+func (c *Cache) moveToBack(s int32) {
+	if c.tail == s {
+		return
+	}
+	c.unlink(s)
+	c.pushBack(s)
+}
+
+// --- accounting ----------------------------------------------------------
+
 // HitRate returns hits / (hits+misses), or 0 before any lookup.
 func (c *Cache) HitRate() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	total := c.hits + c.misses
-	if total == 0 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	return float64(h) / float64(h+m)
 }
 
 // Stats returns cumulative (hits, misses, updateOps).
 func (c *Cache) Stats() (hits, misses, updates int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.updates
+	return c.hits.Load(), c.misses.Load(), c.updates.Load()
 }
 
 // ResetStats clears accounting but keeps residency.
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits, c.misses, c.updates = 0, 0, 0
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.updates.Store(0)
+}
+
+// residentBits reports the number of set bits in the static bitset
+// (test hook for the prefill paths).
+func (c *Cache) residentBits() int {
+	n := 0
+	for _, w := range c.static {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }

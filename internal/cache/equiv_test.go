@@ -1,0 +1,255 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gnnavigator/internal/gen"
+	"gnnavigator/internal/graph"
+)
+
+// accessStream builds a deterministic degree-skewed access pattern over
+// g: batches of edge-walk endpoints, the same shape the samplers feed
+// the cache.
+func accessStream(t *testing.T, g *graph.Graph, batches, batchLen int, seed int64) [][]int32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	out := make([][]int32, batches)
+	for b := range out {
+		batch := make([]int32, 0, batchLen)
+		for len(batch) < batchLen {
+			v := int32(rng.Intn(n))
+			if ns := g.Neighbors(v); len(ns) > 0 {
+				v = ns[rng.Intn(len(ns))]
+			}
+			batch = append(batch, v)
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(rand.New(rand.NewSource(3)), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// kernelPair builds the array-backed cache and the frozen map+list
+// reference with identical parameters.
+func kernelPair(t *testing.T, policy Policy, capacity int, g *graph.Graph) (Kernel, Kernel) {
+	t.Helper()
+	if policy == Freq {
+		order := g.DegreeOrder() // any fixed admission order
+		c, err := NewWithOrder(Freq, capacity, g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewMapReferenceWithOrder(Freq, capacity, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, ref
+	}
+	c, err := New(policy, capacity, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewMapReference(policy, capacity, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ref
+}
+
+// TestKernelEquivalence pins the array-backed cache bitwise against the
+// frozen map+list reference for every policy: identical miss lists (in
+// order), identical per-batch update ops, identical cumulative stats,
+// and identical residency after every batch.
+func TestKernelEquivalence(t *testing.T) {
+	g := testGraph(t)
+	stream := accessStream(t, g, 60, 256, 11)
+	for _, policy := range Policies() {
+		t.Run(string(policy), func(t *testing.T) {
+			for _, capacity := range []int{0, 1, 7, 300} {
+				c, ref := kernelPair(t, policy, capacity, g)
+				var missC, missR []int32
+				for bi, batch := range stream {
+					missC = c.LookupInto(missC[:0], batch)
+					missR = ref.LookupInto(missR[:0], batch)
+					if len(missC) != len(missR) {
+						t.Fatalf("cap %d batch %d: miss count %d vs %d", capacity, bi, len(missC), len(missR))
+					}
+					for i := range missC {
+						if missC[i] != missR[i] {
+							t.Fatalf("cap %d batch %d: miss[%d] = %d vs %d", capacity, bi, i, missC[i], missR[i])
+						}
+					}
+					if oc, or := c.Update(missC), ref.Update(missR); oc != or {
+						t.Fatalf("cap %d batch %d: update ops %d vs %d", capacity, bi, oc, or)
+					}
+					if c.Len() != ref.Len() {
+						t.Fatalf("cap %d batch %d: len %d vs %d", capacity, bi, c.Len(), ref.Len())
+					}
+					for _, v := range batch {
+						if c.Contains(v) != ref.Contains(v) {
+							t.Fatalf("cap %d batch %d: residency of %d diverges", capacity, bi, v)
+						}
+					}
+				}
+				hc, mc, uc := c.Stats()
+				hr, mr, ur := ref.Stats()
+				if hc != hr || mc != mr || uc != ur {
+					t.Fatalf("cap %d: stats (%d,%d,%d) vs (%d,%d,%d)", capacity, hc, mc, uc, hr, mr, ur)
+				}
+			}
+		})
+	}
+}
+
+// TestCachedRowsMatchHost verifies the cache actually owns its resident
+// feature rows: after admissions, RowOf serves a verbatim copy of the
+// host row for every resident vertex, and nil for absent ones.
+func TestCachedRowsMatchHost(t *testing.T) {
+	g := testGraph(t)
+	if err := gen.AttachFeatures(rand.New(rand.NewSource(5)), g, make([]int32, g.NumVertices()), 2,
+		gen.FeatureSpec{Dim: 8, Noise: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []Policy{Static, FIFO, LRU} {
+		c, err := New(policy, 200, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range accessStream(t, g, 20, 128, 23) {
+			c.Update(c.Lookup(batch))
+			for _, v := range batch {
+				row := c.RowOf(v)
+				if c.Contains(v) {
+					if row == nil {
+						t.Fatalf("%s: resident %d has no row", policy, v)
+					}
+					for j, f := range g.Feature(v) {
+						if row[j] != f {
+							t.Fatalf("%s: row of %d differs at %d", policy, v, j)
+						}
+					}
+				} else if row != nil {
+					t.Fatalf("%s: absent %d served a row", policy, v)
+				}
+			}
+		}
+	}
+}
+
+// TestFreqPrefill covers NewWithOrder admission semantics: exactly the
+// first capacity order entries become resident, bitset and slot table
+// agree, and lookups never mutate residency.
+func TestFreqPrefill(t *testing.T) {
+	g := testGraph(t)
+	order := []int32{42, 7, 1999, 3, 500}
+	c, err := NewWithOrder(Freq, 3, g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 || c.residentBits() != 3 {
+		t.Fatalf("Len = %d, bits = %d, want 3", c.Len(), c.residentBits())
+	}
+	for i, v := range order {
+		want := i < 3
+		if c.Contains(v) != want {
+			t.Errorf("Contains(%d) = %v, want %v", v, !want, want)
+		}
+	}
+	if ops := c.Update(c.Lookup([]int32{9, 10, 11})); ops != 0 {
+		t.Errorf("freq cache performed %d update ops", ops)
+	}
+	if c.Contains(9) {
+		t.Error("freq cache admitted at run time")
+	}
+	if _, err := New(Freq, 3, g); err == nil {
+		t.Error("New accepted freq without an admission order")
+	}
+}
+
+// TestShardsEmptyShardOrder: a prefilled shard whose vertex residue
+// class has no entry in the admission order is a valid (empty) shard,
+// not a construction error.
+func TestShardsEmptyShardOrder(t *testing.T) {
+	g := testGraph(t)
+	order := []int32{0, 4, 8} // residue class 0 mod 4 only
+	s, err := NewShardsWithOrder(Freq, 100, 4, g, order)
+	if err != nil {
+		t.Fatalf("empty shard order rejected: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(4) || s.Contains(1) {
+		t.Error("residency wrong after sparse prefill")
+	}
+}
+
+// TestShardsDeterministicAcrossWorkers drives a 4-shard cache with 1, 2
+// and 4 writer goroutines (each owning whole shards) and requires
+// identical aggregate hits/misses/updates — the ownership contract that
+// makes the sharded plane deterministic. Run under -race (CI does) this
+// also proves shard independence.
+func TestShardsDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t)
+	stream := accessStream(t, g, 40, 256, 31)
+	const nShards = 4
+	for _, policy := range []Policy{Static, FIFO, LRU} {
+		run := func(workers int) (int64, int64, int64) {
+			s, err := NewShards(policy, 300, nShards, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pre-split each batch by owning shard (outside the drive).
+			sub := make([][][]int32, nShards)
+			for _, batch := range stream {
+				perShard := make([][]int32, nShards)
+				for _, v := range batch {
+					i := s.ShardOf(v)
+					perShard[i] = append(perShard[i], v)
+				}
+				for i := range perShard {
+					sub[i] = append(sub[i], perShard[i])
+				}
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var miss []int32
+					for i := w; i < nShards; i += workers {
+						shard := s.Shard(i)
+						for _, batch := range sub[i] {
+							miss = shard.LookupInto(miss[:0], batch)
+							shard.Update(miss)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			return s.Stats()
+		}
+		h1, m1, u1 := run(1)
+		for _, workers := range []int{2, 4} {
+			h, m, u := run(workers)
+			if h != h1 || m != m1 || u != u1 {
+				t.Errorf("%s: %d workers gave (%d,%d,%d), 1 worker (%d,%d,%d)",
+					policy, workers, h, m, u, h1, m1, u1)
+			}
+		}
+		if h1+m1 == 0 {
+			t.Errorf("%s: no accounting recorded", policy)
+		}
+	}
+}

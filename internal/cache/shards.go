@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"fmt"
+
+	"gnnavigator/internal/graph"
+)
+
+// Shards partitions the vertex space across independent array-backed
+// caches so multiple writer goroutines can run lookup+update
+// concurrently without sharing a lock: vertex v belongs to shard
+// v & (n-1), each shard owns capacity/n slots, its own eviction ring and
+// its own counters.
+//
+// Locking contract: the structure itself holds no locks. Each shard is a
+// full Cache with the single-writer contract, so concurrency is achieved
+// by ownership — every shard must have exactly one goroutine issuing
+// Lookup/Update against it (workers may own several shards). Because a
+// shard's access sub-stream is carved from the batch stream by vertex id,
+// the per-shard sequences — and therefore every shard's hits, misses and
+// evictions — are identical at any worker count; `benchtab -cache-bench`
+// verifies this before timing. Note that a sharded dynamic cache is a
+// different replacement policy than a global one (per-shard capacity,
+// per-shard eviction order): the single-Cache form stays bitwise-equal
+// to the frozen map+list reference, the sharded form trades that for
+// lock-free parallel writers.
+type Shards struct {
+	shards []*Cache
+	mask   int32
+}
+
+// NewShards builds n (a power of two) independent shards with the total
+// capacity split evenly. Prefilled policies (Static/Freq) admit each
+// shard's share from the global admission order restricted to the
+// shard's vertices.
+func NewShards(policy Policy, capacity, n int, g *graph.Graph) (*Shards, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("cache: shard count %d is not a power of two", n)
+	}
+	var order []int32
+	if policy == Static {
+		if g == nil {
+			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
+		}
+		order = g.DegreeOrder()
+	}
+	return NewShardsWithOrder(policy, capacity, n, g, order)
+}
+
+// NewShardsWithOrder is NewShards with an explicit admission order for
+// prefilled policies (the Freq path).
+func NewShardsWithOrder(policy Policy, capacity, n int, g *graph.Graph, order []int32) (*Shards, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("cache: shard count %d is not a power of two", n)
+	}
+	s := &Shards{shards: make([]*Cache, n), mask: int32(n - 1)}
+	for i := range s.shards {
+		share := capacity / n
+		if i < capacity%n {
+			share++
+		}
+		var shardOrder []int32
+		if policy.Prefilled() {
+			// Non-nil even when no order entry lands in this shard: an
+			// empty prefilled shard is a valid state, distinct from a
+			// missing admission order.
+			shardOrder = []int32{}
+			for _, v := range order {
+				if v&s.mask == int32(i) {
+					shardOrder = append(shardOrder, v)
+				}
+			}
+		}
+		c, err := NewWithOrder(policy, share, g, shardOrder)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = c
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Shards) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning vertex v.
+func (s *Shards) ShardOf(v int32) int { return int(v & s.mask) }
+
+// Shard returns shard i for its owning worker to drive.
+func (s *Shards) Shard(i int) *Cache { return s.shards[i] }
+
+// Contains reports residency of v (lock-free, any goroutine).
+func (s *Shards) Contains(v int32) bool { return s.shards[v&s.mask].Contains(v) }
+
+// Stats aggregates cumulative (hits, misses, updateOps) over all shards.
+func (s *Shards) Stats() (hits, misses, updates int64) {
+	for _, c := range s.shards {
+		h, m, u := c.Stats()
+		hits += h
+		misses += m
+		updates += u
+	}
+	return hits, misses, updates
+}
+
+// Len returns the total resident vertex count.
+func (s *Shards) Len() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Len()
+	}
+	return n
+}
+
+// HitRate returns the aggregate hit rate over all shards.
+func (s *Shards) HitRate() float64 {
+	h, m, _ := s.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

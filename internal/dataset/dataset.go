@@ -15,7 +15,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"gnnavigator/internal/gen"
@@ -125,7 +125,7 @@ func Names() []string {
 	for n := range specs {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
@@ -239,9 +239,9 @@ func Synthesize(spec Spec) (*Dataset, error) {
 			d.TestIdx = append(d.TestIdx, int32(v))
 		}
 	}
-	sortInt32(d.TrainIdx)
-	sortInt32(d.ValIdx)
-	sortInt32(d.TestIdx)
+	slices.Sort(d.TrainIdx)
+	slices.Sort(d.ValIdx)
+	slices.Sort(d.TestIdx)
 	return d, nil
 }
 
@@ -279,8 +279,4 @@ func PowerLawAugment(seed int64, count int) ([]*Dataset, error) {
 		out = append(out, d)
 	}
 	return out, nil
-}
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

@@ -48,7 +48,7 @@ func DefaultSpace() Space {
 		FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}, {25, 10}},
 		WalkLengths: []int{8, 12},
 		CacheRatios: []float64{0, 0.08, 0.15, 0.3, 0.45},
-		Policies:    []cache.Policy{cache.Static, cache.FIFO, cache.LRU},
+		Policies:    []cache.Policy{cache.Static, cache.Freq, cache.FIFO, cache.LRU},
 		BiasRates:   []float64{0, 0.9},
 		Hiddens:     []int{32, 64},
 	}

@@ -278,7 +278,7 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 			cfg.Sampler = backend.SamplerFastGCN
 		}
 		if cfg.CacheRatio > 0 {
-			switch rng.Intn(3) {
+			switch rng.Intn(4) {
 			case 0:
 				cfg.CachePolicy = cache.Static
 				if rng.Intn(2) == 0 && cfg.Sampler == backend.SamplerSAGE {
@@ -286,6 +286,8 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 				}
 			case 1:
 				cfg.CachePolicy = cache.FIFO
+			case 2:
+				cfg.CachePolicy = cache.Freq
 			default:
 				cfg.CachePolicy = cache.LRU
 			}
@@ -326,6 +328,8 @@ func features(cfg backend.Config, st GraphStats) []float64 {
 		policy = 2
 	case cache.LRU:
 		policy = 3
+	case cache.Freq:
+		policy = 4
 	}
 	samplerCode := 0.0
 	switch cfg.Sampler {
@@ -616,7 +620,7 @@ func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 	}
 	miss := vi * (1 - hit)
 	var updates float64
-	if cfg.CachePolicy == cache.FIFO || cfg.CachePolicy == cache.LRU {
+	if cfg.CachePolicy.Dynamic() {
 		updates = 2 * miss
 	}
 

@@ -70,17 +70,19 @@ func RunAblationPruning(w io.Writer, f Fidelity) (*AblationPruning, error) {
 
 // AblationCacheRow is one cache policy's performance at a fixed ratio.
 type AblationCacheRow struct {
-	Policy   cache.Policy
-	HitRate  float64
-	EpochSec float64
-	MemoryGB float64
+	Policy     cache.Policy
+	HitRate    float64
+	EpochSec   float64
+	MemoryGB   float64
+	TransferMB float64 // measured host→device feature traffic (scaled run)
 }
 
-// RunAblationCachePolicy compares none/static/fifo/lru at the same
-// capacity on Reddit2+SAGE — the "cache update policy" knob of Fig. 3.
+// RunAblationCachePolicy compares none/static/freq/fifo/lru at the same
+// capacity on Reddit2+SAGE — the "cache update policy" knob of Fig. 3,
+// including the feature plane's pre-sample-admission policy.
 func RunAblationCachePolicy(w io.Writer, f Fidelity) ([]AblationCacheRow, error) {
 	fmt.Fprintln(w, "# Ablation: cache policy at fixed ratio 0.3 (Reddit2+SAGE)")
-	fmt.Fprintf(w, "%-8s %8s %10s %10s\n", "policy", "hit", "epoch(s)", "Γ(GB)")
+	fmt.Fprintf(w, "%-8s %8s %10s %10s %10s\n", "policy", "hit", "epoch(s)", "Γ(GB)", "xfer(MB)")
 	var out []AblationCacheRow
 	for _, pol := range cache.Policies() {
 		cfg, err := backend.FromTemplate(backend.TemplatePyG, dataset.Reddit2, model.SAGE, platform)
@@ -96,9 +98,12 @@ func RunAblationCachePolicy(w io.Writer, f Fidelity) ([]AblationCacheRow, error)
 		if err != nil {
 			return nil, err
 		}
-		row := AblationCacheRow{Policy: pol, HitRate: perf.HitRate, EpochSec: perf.TimeSec, MemoryGB: perf.MemoryGB}
+		row := AblationCacheRow{
+			Policy: pol, HitRate: perf.HitRate, EpochSec: perf.TimeSec,
+			MemoryGB: perf.MemoryGB, TransferMB: float64(perf.TransferredBytes) / 1e6,
+		}
 		out = append(out, row)
-		fmt.Fprintf(w, "%-8s %8.3f %10.3f %10.2f\n", pol, row.HitRate, row.EpochSec, row.MemoryGB)
+		fmt.Fprintf(w, "%-8s %8.3f %10.3f %10.2f %10.1f\n", pol, row.HitRate, row.EpochSec, row.MemoryGB, row.TransferMB)
 	}
 	return out, nil
 }

@@ -107,8 +107,8 @@ func TestAblationCachePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunAblationCachePolicy: %v", err)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 policies", len(rows))
 	}
 	byPolicy := map[string]AblationCacheRow{}
 	for _, r := range rows {
@@ -121,6 +121,17 @@ func TestAblationCachePolicy(t *testing.T) {
 	// degree-ordered cache must beat FIFO churn.
 	if byPolicy["static"].HitRate <= byPolicy["none"].HitRate {
 		t.Error("static cache no better than no cache")
+	}
+	if byPolicy["freq"].HitRate <= byPolicy["none"].HitRate {
+		t.Error("freq pre-fill no better than no cache")
+	}
+	// Transfer volume must mirror the hit rate: every cached policy moves
+	// fewer bytes than no cache at all.
+	for _, pol := range []string{"static", "freq", "fifo", "lru"} {
+		if byPolicy[pol].TransferMB >= byPolicy["none"].TransferMB {
+			t.Errorf("%s transferred %.1f MB, not below none's %.1f MB",
+				pol, byPolicy[pol].TransferMB, byPolicy["none"].TransferMB)
+		}
 	}
 }
 

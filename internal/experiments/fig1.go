@@ -17,6 +17,9 @@ type Fig1aPoint struct {
 	MemoryMB   float64
 	EpochSec   float64
 	HitRate    float64
+	// TransferMB is the measured host→device feature traffic of the
+	// scaled run (feature-plane accounting), the quantity Eq. 6 prices.
+	TransferMB float64
 }
 
 // RunFig1a sweeps the PaGraph template's cache ratio on Reddit2+SAGE and
@@ -27,7 +30,7 @@ func RunFig1a(w io.Writer, f Fidelity) ([]Fig1aPoint, error) {
 		ratios = []float64{0, 0.15, 0.3, 0.6}
 	}
 	fmt.Fprintln(w, "# Fig 1a: PaGraph speedup vs memory trade-off (Reddit2+SAGE)")
-	fmt.Fprintf(w, "%10s %12s %12s %8s\n", "cacheRatio", "memory(MB)", "epoch(s)", "hit")
+	fmt.Fprintf(w, "%10s %12s %12s %8s %12s\n", "cacheRatio", "memory(MB)", "epoch(s)", "hit", "xfer(MB)")
 	var out []Fig1aPoint
 	for _, r := range ratios {
 		cfg, err := backend.FromTemplate(backend.TemplatePaFull, dataset.Reddit2, model.SAGE, platform)
@@ -48,9 +51,10 @@ func RunFig1a(w io.Writer, f Fidelity) ([]Fig1aPoint, error) {
 			MemoryMB:   perf.MemoryGB * 1000,
 			EpochSec:   perf.TimeSec,
 			HitRate:    perf.HitRate,
+			TransferMB: float64(perf.TransferredBytes) / 1e6,
 		}
 		out = append(out, p)
-		fmt.Fprintf(w, "%10.2f %12.1f %12.3f %8.2f\n", p.CacheRatio, p.MemoryMB, p.EpochSec, p.HitRate)
+		fmt.Fprintf(w, "%10.2f %12.1f %12.3f %8.2f %12.1f\n", p.CacheRatio, p.MemoryMB, p.EpochSec, p.HitRate, p.TransferMB)
 	}
 	if len(out) >= 2 {
 		first, last := out[0], out[len(out)-1]

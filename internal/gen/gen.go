@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"gnnavigator/internal/graph"
 )
@@ -22,31 +22,34 @@ import (
 // n vertices where each arriving vertex attaches to m existing vertices.
 // Both arc directions are stored. The resulting degree distribution follows
 // a power law with exponent close to 3.
+//
+// The build is two-pass: generation appends only to the repeated endpoint
+// pool (which doubles as the edge log — growth edges are its consecutive
+// pairs after the seed prefix), and a counting pass over that pool then
+// sizes the CSR arrays exactly. No per-vertex append slices, no CSR
+// re-copy: the whole graph costs a handful of flat allocations.
 func BarabasiAlbert(rng *rand.Rand, n, m int) (*graph.Graph, error) {
 	if n <= m || m < 1 {
 		return nil, fmt.Errorf("gen: BarabasiAlbert requires n > m >= 1 (n=%d, m=%d)", n, m)
 	}
-	adj := make([][]int32, n)
 	// repeated holds one entry per arc endpoint, so sampling uniformly from
-	// it implements preferential attachment.
-	repeated := make([]int32, 0, 2*m*n)
+	// it implements preferential attachment. After generation, vertex v
+	// appears in it exactly degree(v) times.
+	repeated := make([]int32, 0, m*(2*n-m-1))
 
 	// Seed clique over the first m+1 vertices.
 	for v := 0; v <= m; v++ {
 		for u := 0; u <= m; u++ {
-			if u == v {
-				continue
+			if u != v {
+				repeated = append(repeated, int32(v))
 			}
-			adj[v] = append(adj[v], int32(u))
-			repeated = append(repeated, int32(v))
 		}
 	}
+	seedArcs := len(repeated)
 	chosen := make(map[int32]bool, m)
 	targets := make([]int32, 0, m)
 	for v := m + 1; v < n; v++ {
-		for k := range chosen {
-			delete(chosen, k)
-		}
+		clear(chosen)
 		for len(chosen) < m {
 			u := repeated[rng.Intn(len(repeated))]
 			if int(u) != v {
@@ -59,17 +62,43 @@ func BarabasiAlbert(rng *rand.Rand, n, m int) (*graph.Graph, error) {
 		for u := range chosen {
 			targets = append(targets, u)
 		}
-		sortInt32(targets)
+		slices.Sort(targets)
 		for _, u := range targets {
-			adj[v] = append(adj[v], u)
-			adj[u] = append(adj[u], int32(v))
 			repeated = append(repeated, int32(v), u)
 		}
 	}
-	for v := range adj {
-		sortInt32(adj[v])
+
+	// Counted pre-size pass: degree(v) = multiplicity of v in repeated.
+	offsets := make([]int64, n+1)
+	for _, v := range repeated {
+		offsets[v+1]++
 	}
-	return graph.FromAdjList(adj)
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, len(repeated))
+	cur := make([]int64, n)
+	copy(cur, offsets[:n])
+	emit := func(v, u int32) {
+		adj[cur[v]] = u
+		cur[v]++
+	}
+	for v := int32(0); v <= int32(m); v++ {
+		for u := int32(0); u <= int32(m); u++ {
+			if u != v {
+				emit(v, u)
+			}
+		}
+	}
+	for k := seedArcs; k < len(repeated); k += 2 {
+		v, u := repeated[k], repeated[k+1]
+		emit(v, u)
+		emit(u, v)
+	}
+	for v := 0; v < n; v++ {
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
+	}
+	return graph.NewCSR(offsets, adj)
 }
 
 // RMAT generates a directed R-MAT graph with 2^scale vertices and
@@ -116,7 +145,7 @@ func RMAT(rng *rand.Rand, scale, edgeFactor int, a, b, c, d float64) (*graph.Gra
 		adj[src] = append(adj[src], int32(dst))
 	}
 	for v := range adj {
-		sortInt32(adj[v])
+		slices.Sort(adj[v])
 	}
 	return graph.FromAdjList(adj)
 }
@@ -187,7 +216,7 @@ func SBM(rng *rand.Rand, spec SBMSpec) (*graph.Graph, []int32, error) {
 		}
 	}
 	for v := range adj {
-		sortInt32(adj[v])
+		slices.Sort(adj[v])
 		adj[v] = dedupSorted(adj[v])
 	}
 	g, err := graph.FromAdjList(adj)
@@ -286,7 +315,7 @@ func PowerLawCommunity(rng *rand.Rand, spec PowerLawCommunitySpec) (*graph.Graph
 		weight[v]++
 	}
 	for v := range adj {
-		sortInt32(adj[v])
+		slices.Sort(adj[v])
 		adj[v] = dedupSorted(adj[v])
 	}
 	g, err := graph.FromAdjList(adj)
@@ -378,10 +407,6 @@ func poissonish(rng *rand.Rand, mean float64) int {
 		k++
 	}
 	return k
-}
-
-func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 func dedupSorted(s []int32) []int32 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gnnavigator/internal/cache"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/nn"
 	"gnnavigator/internal/sample"
@@ -229,24 +230,12 @@ func GatherFeatures(g *graph.Graph, nodes []int32) *tensor.Dense {
 // GatherFeaturesInto is GatherFeatures reusing dst's storage when its
 // capacity suffices (pass the previous return value to amortize the
 // feature matrix across mini-batches and epochs). It returns the matrix
-// actually filled, sharded over rows.
+// actually filled, sharded over rows. The copy itself is the feature
+// plane's gather kernel (cache.GatherRowsInto); cached transmission
+// routes (hits served from device slot storage, per-batch transfer
+// accounting) live behind cache.FeatureSource.
 func GatherFeaturesInto(dst *tensor.Dense, g *graph.Graph, nodes []int32) *tensor.Dense {
-	n := len(nodes) * g.FeatDim
-	if dst == nil || cap(dst.Data) < n {
-		dst = tensor.New(len(nodes), g.FeatDim)
-	} else {
-		dst.Rows, dst.Cols = len(nodes), g.FeatDim
-		dst.Data = dst.Data[:n]
-	}
-	tensor.ParallelRows(len(nodes), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := dst.Row(i)
-			for j, f := range g.Feature(nodes[i]) {
-				row[j] = float64(f)
-			}
-		}
-	})
-	return dst
+	return cache.GatherRowsInto(dst, g, nodes)
 }
 
 // --- shared mean aggregation --------------------------------------------

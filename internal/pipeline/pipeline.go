@@ -98,11 +98,14 @@ type Batch struct {
 	// MB is the sampled minibatch.
 	MB *sample.MiniBatch
 	// Miss is the number of MB.InputNodes absent from the cache (the
-	// transfer volume of Eq. 6); 0 when the run has no cache.
+	// transfer volume of Eq. 6); 0 when the run has no feature source.
 	Miss int
 	// CacheOps is the number of replacement operations Update performed
 	// admitting the misses (Eq. 5's stale-data volume).
 	CacheOps int
+	// TransferBytes is the host→device feature traffic this batch caused
+	// at the scaled feature width, as accounted by the feature source.
+	TransferBytes int64
 	// Feats is the gathered input-feature matrix (row i = features of
 	// MB.InputNodes[i]); nil unless Config.Gather. It is owned by the
 	// pipeline's buffer ring and is valid only until the consumer
@@ -126,9 +129,11 @@ type bufferSet struct {
 type Config struct {
 	Graph   *graph.Graph
 	Sampler sample.Sampler
-	// Cache is looked up (and, policy permitting, updated) per batch in
-	// the gather stage; nil disables cache accounting.
-	Cache *cache.Cache
+	// Source is the feature plane the gather stage routes rows through:
+	// cache lookup/update, transfer accounting and (when Gather is set)
+	// the row copies all happen behind it, in batch order. nil disables
+	// transfer accounting; Gather then copies rows straight from Graph.
+	Source cache.FeatureSource
 
 	// Seed roots the per-batch RNG derivation (sample.BatchRNG).
 	Seed int64
@@ -200,24 +205,29 @@ func (cfg *Config) sampleBatch(epoch, index int, targets []int32) *Batch {
 	}
 }
 
-// prepareBatch is the cache+gather stage's work for one batch: cache
-// lookup/update in batch order, then feature/label gather into the
+// prepareBatch is the cache+gather stage's work for one batch: route the
+// batch's input rows through the feature plane (lookup/update/transfer
+// accounting, in batch order), then feature/label gather into the
 // batch's buffer set.
 func (cfg *Config) prepareBatch(b *Batch, buf *bufferSet) {
-	if cfg.Cache != nil {
-		miss := cfg.Cache.Lookup(b.MB.InputNodes)
-		b.Miss = len(miss)
-		b.CacheOps = cfg.Cache.Update(miss)
-	}
 	if cfg.Gather {
 		b.buf = buf
-		buf.feats = model.GatherFeaturesInto(buf.feats, cfg.Graph, b.MB.InputNodes)
+		if cfg.Source != nil {
+			var st cache.BatchStats
+			buf.feats, st = cfg.Source.GatherInto(buf.feats, b.MB.InputNodes)
+			b.Miss, b.CacheOps, b.TransferBytes = st.Miss, st.CacheOps, st.TransferBytes
+		} else {
+			buf.feats = model.GatherFeaturesInto(buf.feats, cfg.Graph, b.MB.InputNodes)
+		}
 		buf.labels = tensor.Grow(buf.labels, len(b.MB.Targets))
 		for i, v := range b.MB.Targets {
 			buf.labels[i] = cfg.Graph.Labels[v]
 		}
 		b.Feats = buf.feats
 		b.Labels = buf.labels
+	} else if cfg.Source != nil {
+		st := cfg.Source.Access(b.MB.InputNodes)
+		b.Miss, b.CacheOps, b.TransferBytes = st.Miss, st.CacheOps, st.TransferBytes
 	}
 }
 

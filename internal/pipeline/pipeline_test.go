@@ -7,6 +7,7 @@ import (
 
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
 	"gnnavigator/internal/sample"
 )
 
@@ -18,6 +19,7 @@ type digest struct {
 	vertices      int
 	edges         int
 	miss, ops     int
+	transfer      int64
 	featsChecksum float64
 	labelSum      int64
 }
@@ -33,6 +35,7 @@ func runDigests(t *testing.T, cfg Config) ([]digest, []int) {
 			vertices: b.MB.NumVertices,
 			edges:    b.MB.NumEdges,
 			miss:     b.Miss, ops: b.CacheOps,
+			transfer: b.TransferBytes,
 		}
 		if b.Feats != nil {
 			for _, v := range b.Feats.Data {
@@ -72,6 +75,16 @@ func testConfig(t *testing.T) Config {
 	}
 }
 
+// mustCache builds an array-backed cache over g (which may be nil).
+func mustCache(t *testing.T, policy cache.Policy, capacity int, g *graph.Graph) *cache.Cache {
+	t.Helper()
+	c, err := cache.New(policy, capacity, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 // TestAsyncBitwiseEqualInline: the engine's core promise — any prefetch
 // depth reproduces the inline path exactly, per batch, including cache
 // evolution and gathered features.
@@ -82,11 +95,8 @@ func TestAsyncBitwiseEqualInline(t *testing.T) {
 				cfg := testConfig(t)
 				cfg.Prefetch = prefetch
 				if withCache {
-					c, err := cache.New(cache.FIFO, 2000, nil)
-					if err != nil {
-						t.Fatal(err)
-					}
-					cfg.Cache = c
+					cfg.Source = cache.NewCachedSource(
+						mustCache(t, cache.FIFO, 2000, cfg.Graph), cfg.Graph)
 				}
 				return runDigests(t, cfg)
 			}
@@ -120,19 +130,11 @@ func TestCoupledSamplerEqualInline(t *testing.T) {
 		cfg := testConfig(t)
 		cfg.Prefetch = prefetch
 		cfg.CoupledSampler = true
-		c, err := cache.New(cache.LRU, 1500, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg.Cache = c
+		src := cache.NewCachedSource(mustCache(t, cache.LRU, 1500, cfg.Graph), cfg.Graph)
+		cfg.Source = src
 		cfg.Sampler = &sample.NodeWise{
-			Fanouts: []int{6, 4},
-			Bias: func(v int32) float64 {
-				if c.Contains(v) {
-					return 1
-				}
-				return 0
-			},
+			Fanouts:      []int{6, 4},
+			Bias:         sample.ResidencyBias(src),
 			BiasStrength: 0.9,
 		}
 		return runDigests(t, cfg)
@@ -148,6 +150,66 @@ func TestCoupledSamplerEqualInline(t *testing.T) {
 				t.Fatalf("coupled prefetch %d batch %d differs: %+v vs %+v", depth, i, got[i], ref[i])
 			}
 		}
+	}
+}
+
+// TestKernelEquivalenceThroughPipeline pins the array-backed cache to
+// the frozen map+list reference through the full engine: for every
+// policy and prefetch depth in {0, 1, 4}, a run gathering through the
+// new cache must hand the consumer bit-identical batches — same misses,
+// same eviction-driven update ops, same transfer bytes, same feature
+// matrices — as a run over the map reference. Run under -race (CI does)
+// this also exercises the lock-free Contains path against the writer
+// stage.
+func TestKernelEquivalenceThroughPipeline(t *testing.T) {
+	d, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	const capacity = 1200
+	freqOrder := g.DegreeOrder() // any fixed admission order works here
+	for _, policy := range cache.Policies() {
+		t.Run(string(policy), func(t *testing.T) {
+			mk := func(src cache.FeatureSource, prefetch int) []digest {
+				cfg := testConfig(t)
+				cfg.Epochs = 2
+				cfg.Prefetch = prefetch
+				cfg.Source = src
+				ds, _ := runDigests(t, cfg)
+				return ds
+			}
+			newSrc := func() cache.FeatureSource {
+				if policy == cache.Freq {
+					c, err := cache.NewWithOrder(cache.Freq, capacity, g, freqOrder)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return cache.NewCachedSource(c, g)
+				}
+				return cache.NewCachedSource(mustCache(t, policy, capacity, g), g)
+			}
+			refSrc := func() cache.FeatureSource {
+				ref, err := cache.NewMapReferenceWithOrder(policy, capacity, freqOrder)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cache.NewKernelSource(ref, g)
+			}
+			want := mk(refSrc(), 0)
+			for _, depth := range []int{0, 1, 4} {
+				got := mk(newSrc(), depth)
+				if len(got) != len(want) {
+					t.Fatalf("prefetch %d consumed %d batches, reference %d", depth, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("policy %s prefetch %d batch %d differs:\nnew: %+v\nref: %+v",
+							policy, depth, i, got[i], want[i])
+					}
+				}
+			}
+		})
 	}
 }
 

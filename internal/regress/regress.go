@@ -6,10 +6,11 @@
 package regress
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Regressor is a trainable scalar-output model.
@@ -195,7 +196,7 @@ func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode
 	sorted := make([]int, len(idx))
 	for _, f := range features {
 		copy(sorted, idx)
-		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		slices.SortFunc(sorted, func(a, b int) int { return cmp.Compare(X[a][f], X[b][f]) })
 		// Prefix sums for O(n) split scan.
 		var sumL, sqL float64
 		var sumT, sqT float64
@@ -377,7 +378,7 @@ func (k *KNN) Predict(x []float64) float64 {
 		}
 		nbs[i] = nb{d, k.y[i]}
 	}
-	sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+	slices.SortFunc(nbs, func(a, b nb) int { return cmp.Compare(a.d, b.d) })
 	kk := k.K
 	if kk > len(nbs) {
 		kk = len(nbs)

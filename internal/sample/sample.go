@@ -118,6 +118,27 @@ type Sampler interface {
 // template wires cache residency in here.
 type BiasFunc func(v int32) float64
 
+// Residency is the device-residency view a locality-aware bias reads —
+// the feature plane (cache.FeatureSource) implements it. Resident must
+// be safe to call from the sampler stage while the cache stage runs;
+// when the underlying residency is dynamic (FIFO/LRU) the two stages
+// must be fused (pipeline.Config.CoupledSampler) for the reads to be
+// deterministic.
+type Residency interface {
+	Resident(v int32) bool
+}
+
+// ResidencyBias returns the 2PGraph p(η): score 1 for device-resident
+// vertices, 0 otherwise.
+func ResidencyBias(r Residency) BiasFunc {
+	return func(v int32) float64 {
+		if r.Resident(v) {
+			return 1
+		}
+		return 0
+	}
+}
+
 // Frontier is the epoch-stamped dense vertex table (graph.Frontier) that
 // replaced every hash map in the batch-assembly hot path: membership is
 // stamp[v] == epoch, lookup is one array read, and reset is an epoch

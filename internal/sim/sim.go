@@ -50,6 +50,14 @@ type BatchVolumes struct {
 	// MissVertices is the subset of InputVertices absent from the device
 	// cache — the transfer volume numerator of Eq. 6.
 	MissVertices int
+	// TransferBytes is the measured host→device feature traffic of the
+	// batch at the scaled feature width (ScaledFeatDim × 4 bytes per
+	// row), as accounted by the feature plane. When > 0 it replaces the
+	// MissVertices count in Eq. 6: the simulator derives the transferred
+	// row count from what actually crossed the link rather than from the
+	// lookup outcome alone. 0 falls back to MissVertices (predicted
+	// volumes, e.g. the estimator's Predict path).
+	TransferBytes float64
 	// CacheUpdateOps is the number of replacement operations (Eq. 5).
 	CacheUpdateOps int
 	// SampledEdges is the total sampled message edges.
@@ -110,8 +118,14 @@ func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
 	// proportional to sampled edges (plus walk steps), parallel over cores.
 	hostEdges := (float64(v.SampledEdges) + float64(v.WalkSteps)) * vs
 	tSample := hostEdges/(p.Host.SampleEdgesPerSec*float64(p.Host.Cores)) + 30e-6
-	// Feature gather for the missing rows happens on the host too.
-	missBytes := float64(v.MissVertices) * vs * featBytes
+	// Feature gather for the missing rows happens on the host too. The
+	// transferred row count comes from the feature plane's measured byte
+	// accounting when available, the cache-lookup miss count otherwise.
+	missRows := float64(v.MissVertices)
+	if v.TransferBytes > 0 && v.ScaledFeatDim > 0 {
+		missRows = v.TransferBytes / (float64(v.ScaledFeatDim) * 4)
+	}
+	missBytes := missRows * vs * featBytes
 	tSample += missBytes / p.Host.GatherBytesPerSec
 
 	// Eq. 6: t_transfer = f(n_attr · |V_i|(1-hit), Host, Device).
