@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"sync"
@@ -13,6 +12,7 @@ import (
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/pipeline"
+	"gnnavigator/internal/plan"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/tensor"
 )
@@ -59,37 +59,45 @@ const cacheBenchShards = 4
 
 var cacheBenchWorkerCounts = []int{1, 2, 4}
 
-// cacheAccessStream replays sampled input-node lists — the exact access
-// shape the pipeline's gather stage feeds the cache.
-func cacheAccessStream(g *graph.Graph, targets []int32, batches int) [][]int32 {
+// cacheBenchPlan compiles the one-epoch plan the bench's access stream
+// decodes from. Freq's admission order is mined from the same plan
+// (plan.CountOrder), so "most frequently touched" is exact rather than
+// the degree-order approximation this bench used to substitute.
+func cacheBenchPlan(dsName string, g *graph.Graph, targets []int32) (*plan.Plan, error) {
 	smp := &sample.NodeWise{Fanouts: []int{10, 5}}
-	plan := sample.EpochBatches(sample.EpochRNG(1, 0), targets, 512)
+	key := plan.KeyFor(dsName, false, smp, 512, 1, 1, true, targets)
+	return plan.Compile(g, smp, key, targets)
+}
+
+// cacheAccessStream replays the plan's input-node lists — the exact
+// access shape the pipeline's gather stage feeds the cache — wrapping
+// around the epoch until `batches` batches are collected.
+func cacheAccessStream(pl *plan.Plan, batches int) [][]int32 {
 	var out [][]int32
-	rng := rand.New(rand.NewSource(9))
 	for len(out) < batches {
-		for _, tg := range plan {
-			mb := smp.Sample(rng, g, tg)
-			nodes := make([]int32, len(mb.InputNodes))
-			copy(nodes, mb.InputNodes)
-			out = append(out, nodes)
-			if len(out) == batches {
-				break
+		for e := 0; e < pl.Epochs() && len(out) < batches; e++ {
+			for i := 0; i < pl.BatchesPerEpoch() && len(out) < batches; i++ {
+				nodes := pl.InputNodes(e, i)
+				cp := make([]int32, len(nodes))
+				copy(cp, nodes)
+				out = append(out, cp)
 			}
 		}
 	}
 	return out
 }
 
-// mkKernel builds one policy's cache or its frozen reference.
-func mkKernel(policy cache.Policy, capacity int, g *graph.Graph, frozen bool) (cache.Kernel, error) {
+// mkKernel builds one policy's cache or its frozen reference. freqOrder
+// is the plan-mined admission order the Freq policy prefills from.
+func mkKernel(policy cache.Policy, capacity int, g *graph.Graph, freqOrder []int32, frozen bool) (cache.Kernel, error) {
 	if frozen {
 		if policy == cache.Freq {
-			return cache.NewMapReferenceWithOrder(policy, capacity, g.DegreeOrder())
+			return cache.NewMapReferenceWithOrder(policy, capacity, freqOrder)
 		}
 		return cache.NewMapReference(policy, capacity, g)
 	}
 	if policy == cache.Freq {
-		return cache.NewWithOrder(policy, capacity, g, g.DegreeOrder())
+		return cache.NewWithOrder(policy, capacity, g, freqOrder)
 	}
 	return cache.New(policy, capacity, g)
 }
@@ -157,9 +165,9 @@ func splitByShard(s *cache.Shards, stream [][]int32) [][][]int32 {
 }
 
 // mkShards builds the sharded plane for one policy.
-func mkShards(policy cache.Policy, capacity int, g *graph.Graph) (*cache.Shards, error) {
+func mkShards(policy cache.Policy, capacity int, g *graph.Graph, freqOrder []int32) (*cache.Shards, error) {
 	if policy == cache.Freq {
-		return cache.NewShardsWithOrder(policy, capacity, cacheBenchShards, g, g.DegreeOrder())
+		return cache.NewShardsWithOrder(policy, capacity, cacheBenchShards, g, freqOrder)
 	}
 	return cache.NewShards(policy, capacity, cacheBenchShards, g)
 }
@@ -167,8 +175,8 @@ func mkShards(policy cache.Policy, capacity int, g *graph.Graph) (*cache.Shards,
 // timeSharded drives the sharded plane with W workers (each owning whole
 // shards) for `rounds` replays of the stream, returning batches/sec and
 // the aggregate counters for the equality check.
-func timeSharded(policy cache.Policy, capacity int, g *graph.Graph, sub [][][]int32, batches, workers, rounds int) (float64, [3]int64, error) {
-	s, err := mkShards(policy, capacity, g)
+func timeSharded(policy cache.Policy, capacity int, g *graph.Graph, freqOrder []int32, sub [][][]int32, batches, workers, rounds int) (float64, [3]int64, error) {
+	s, err := mkShards(policy, capacity, g, freqOrder)
 	if err != nil {
 		return 0, [3]int64{}, err
 	}
@@ -199,8 +207,8 @@ func timeSharded(policy cache.Policy, capacity int, g *graph.Graph, sub [][][]in
 // timeMapShared drives one shared map+list cache with W workers splitting
 // the same per-shard sub-streams — the old architecture's global-mutex
 // contention, measured.
-func timeMapShared(policy cache.Policy, capacity int, g *graph.Graph, sub [][][]int32, batches, workers, rounds int) (float64, error) {
-	k, err := mkKernel(policy, capacity, g, true)
+func timeMapShared(policy cache.Policy, capacity int, g *graph.Graph, freqOrder []int32, sub [][][]int32, batches, workers, rounds int) (float64, error) {
+	k, err := mkKernel(policy, capacity, g, freqOrder, true)
 	if err != nil {
 		return 0, err
 	}
@@ -259,7 +267,12 @@ func runCacheBench(outPath string) error {
 	topo.Features = nil
 	capacity := g.NumVertices() / 5
 	const batches = 48
-	stream := cacheAccessStream(g, ds.TrainIdx, batches)
+	pl, err := cacheBenchPlan(ds.Name, g, ds.TrainIdx)
+	if err != nil {
+		return err
+	}
+	freqOrder := pl.CountOrder(g)
+	stream := cacheAccessStream(pl, batches)
 
 	report := CacheBenchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -270,12 +283,19 @@ func runCacheBench(outPath string) error {
 	}
 
 	for _, policy := range cache.Policies() {
+		if policy == cache.Opt {
+			// Script-driven: no frozen map+list counterpart exists (the
+			// pre-refactor cache never had an offline-optimal mode), so
+			// there is nothing to compare against here. Opt's cost is
+			// covered by `-plan-bench` and the ablation table.
+			continue
+		}
 		// Equality gate 1: single array-backed cache ≡ frozen reference.
-		kNew, err := mkKernel(policy, capacity, &topo, false)
+		kNew, err := mkKernel(policy, capacity, &topo, freqOrder, false)
 		if err != nil {
 			return err
 		}
-		kRef, err := mkKernel(policy, capacity, &topo, true)
+		kRef, err := mkKernel(policy, capacity, &topo, freqOrder, true)
 		if err != nil {
 			return err
 		}
@@ -286,14 +306,14 @@ func runCacheBench(outPath string) error {
 		allocsRef := driveSerial(kRef, stream)
 
 		// Equality gate 2: sharded counters identical at every W.
-		sRef, err := mkShards(policy, capacity, &topo)
+		sRef, err := mkShards(policy, capacity, &topo, freqOrder)
 		if err != nil {
 			return err
 		}
 		sub := splitByShard(sRef, stream)
 		var want [3]int64
 		for i, workers := range cacheBenchWorkerCounts {
-			_, got, err := timeSharded(policy, capacity, &topo, sub, batches, workers, 1)
+			_, got, err := timeSharded(policy, capacity, &topo, freqOrder, sub, batches, workers, 1)
 			if err != nil {
 				return err
 			}
@@ -308,11 +328,11 @@ func runCacheBench(outPath string) error {
 		// Timed: lookup+update throughput per worker count.
 		rounds := 6
 		for _, workers := range cacheBenchWorkerCounts {
-			mapBps, err := timeMapShared(policy, capacity, &topo, sub, batches, workers, rounds)
+			mapBps, err := timeMapShared(policy, capacity, &topo, freqOrder, sub, batches, workers, rounds)
 			if err != nil {
 				return err
 			}
-			shardBps, _, err := timeSharded(policy, capacity, &topo, sub, batches, workers, rounds)
+			shardBps, _, err := timeSharded(policy, capacity, &topo, freqOrder, sub, batches, workers, rounds)
 			if err != nil {
 				return err
 			}
@@ -343,14 +363,14 @@ func runCacheBench(outPath string) error {
 			}
 		}
 		newSrc := func() (cache.FeatureSource, error) {
-			k, err := mkKernel(policy, capacity, g, false)
+			k, err := mkKernel(policy, capacity, g, freqOrder, false)
 			if err != nil {
 				return nil, err
 			}
 			return cache.NewCachedSource(k.(*cache.Cache), g), nil
 		}
 		refSrc := func() (cache.FeatureSource, error) {
-			k, err := mkKernel(policy, capacity, g, true)
+			k, err := mkKernel(policy, capacity, g, freqOrder, true)
 			if err != nil {
 				return nil, err
 			}

@@ -56,6 +56,9 @@ func main() {
 		dseBench = flag.Bool("dse-bench", false, "measure serial vs parallel design-space exploration + calibration collection and write BENCH_dse.json")
 		dseOut   = flag.String("dse-out", "BENCH_dse.json", "output path for -dse-bench")
 		dseQuick = flag.Bool("dse-quick", false, "shrink -dse-bench to a tiny space and {1,2} workers (CI smoke)")
+		plnBench = flag.Bool("plan-bench", false, "measure live sampling vs compiled-plan replay and plan-shared calibration collection, writing BENCH_plan.json")
+		plnOut   = flag.String("plan-out", "BENCH_plan.json", "output path for -plan-bench")
+		plnQuick = flag.Bool("plan-quick", false, "shrink -plan-bench to one epoch and fewer probes (CI smoke)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -85,6 +88,7 @@ func main() {
 		smpBench: *smpBench, smpOut: *smpOut,
 		cchBench: *cchBench, cchOut: *cchOut,
 		dseBench: *dseBench, dseOut: *dseOut, dseQuick: *dseQuick,
+		plnBench: *plnBench, plnOut: *plnOut, plnQuick: *plnQuick,
 	})
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
@@ -119,6 +123,9 @@ type benchModes struct {
 	dseBench bool
 	dseOut   string
 	dseQuick bool
+	plnBench bool
+	plnOut   string
+	plnQuick bool
 }
 
 // dispatch runs exactly one benchtab mode; profiles (if any) bracket it.
@@ -150,6 +157,12 @@ func dispatch(exp string, full bool, m benchModes) error {
 	if m.dseBench {
 		if err := runDSEBench(m.dseOut, m.dseQuick); err != nil {
 			return fmt.Errorf("dse-bench: %w", err)
+		}
+		return nil
+	}
+	if m.plnBench {
+		if err := runPlanBench(m.plnOut, m.plnQuick); err != nil {
+			return fmt.Errorf("plan-bench: %w", err)
 		}
 		return nil
 	}

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/estimator"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/pipeline"
+	"gnnavigator/internal/plan"
+	"gnnavigator/internal/sample"
+)
+
+// PlanReplayBench is the pipeline half of BENCH_plan.json: end-to-end
+// batches/sec with the sampler running live vs replaying a compiled
+// epoch plan. The two runs' batch digests are verified identical before
+// any number is reported — replay is a pure wall-clock optimisation.
+type PlanReplayBench struct {
+	Dataset        string  `json:"dataset"`
+	Epochs         int     `json:"epochs"`
+	Batches        int     `json:"batches"`
+	PlanBytes      int64   `json:"plan_bytes"`
+	CompileSec     float64 `json:"compile_sec"`
+	LiveBatchSec   float64 `json:"batches_per_sec_live"`
+	ReplayBatchSec float64 `json:"batches_per_sec_replay"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// PlanShareBench is the calibration half: wall time of a serial probe
+// fan-out with each probe re-sampling live vs all probes fetching their
+// epoch plan from the shared single-flight plan cache. The probe set is
+// built as UniquePlans sampling cores crossed with cache-policy
+// variants, so the cache-counter proof is exact: Compiles must equal
+// UniquePlans and CacheHits must equal Probes - UniquePlans, or the
+// bench fails.
+type PlanShareBench struct {
+	Dataset     string  `json:"dataset"`
+	Probes      int     `json:"probes"`
+	UniquePlans int     `json:"unique_plans"`
+	Compiles    int64   `json:"plan_compiles"`
+	CacheHits   int64   `json:"plan_cache_hits"`
+	NoShareSec  float64 `json:"collect_sec_no_share"`
+	ShareSec    float64 `json:"collect_sec_shared"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// PlanBenchReport is the whole BENCH_plan.json document.
+type PlanBenchReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Quick      bool            `json:"quick"`
+	Replay     PlanReplayBench `json:"replay"`
+	Sharing    PlanShareBench  `json:"sharing"`
+}
+
+// runPlanBench measures what the epoch-plan compiler buys — sampler-free
+// pipeline replay and compile-once calibration sharing — and writes
+// BENCH_plan.json. quick shrinks epochs, probe count and timing reps
+// for CI smoke runs.
+func runPlanBench(outPath string, quick bool) error {
+	epochs, reps, coreCount := 3, 2, 2
+	if quick {
+		epochs, reps, coreCount = 1, 1, 1
+	}
+
+	report := PlanBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+	}
+
+	replay, err := benchPlanReplay(epochs, reps)
+	if err != nil {
+		return err
+	}
+	report.Replay = replay
+
+	sharing, err := benchPlanSharing(coreCount)
+	if err != nil {
+		return err
+	}
+	report.Sharing = sharing
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}
+
+// benchPlanReplay times live sampling vs plan replay through the full
+// gather pipeline after a digest-equality gate.
+func benchPlanReplay(epochs, reps int) (PlanReplayBench, error) {
+	var out PlanReplayBench
+	ds, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		return out, err
+	}
+	smp := &sample.NodeWise{Fanouts: []int{10, 5}}
+	mkCfg := func(pl *plan.Plan) pipeline.Config {
+		return pipeline.Config{
+			Graph:     ds.Graph,
+			Sampler:   smp,
+			Plan:      pl,
+			Seed:      1,
+			Epochs:    epochs,
+			BatchSize: 512,
+			Targets:   ds.TrainIdx,
+			Shuffle:   true,
+			Gather:    true,
+			Prefetch:  2,
+		}
+	}
+
+	// Compile (plan.Compile, not plan.Shared: the sharing half below
+	// owns the process-wide cache counters and resets them itself).
+	key := plan.KeyFor(ds.Name, false, smp, 512, 1, epochs, true, ds.TrainIdx)
+	start := time.Now()
+	pl, err := plan.Compile(ds.Graph, smp, key, ds.TrainIdx)
+	if err != nil {
+		return out, err
+	}
+	out.CompileSec = time.Since(start).Seconds()
+	out.Dataset = ds.Name
+	out.Epochs = epochs
+	out.PlanBytes = pl.Bytes()
+
+	// Equality gate: replay must be bitwise-identical to live sampling.
+	dLive, nLive, err := pipelineDigest(mkCfg(nil))
+	if err != nil {
+		return out, err
+	}
+	dPlan, nPlan, err := pipelineDigest(mkCfg(pl))
+	if err != nil {
+		return out, err
+	}
+	if dLive != dPlan || nLive != nPlan {
+		return out, fmt.Errorf("plan-bench: replay digest diverged from live sampling: (%v,%d) vs (%v,%d)",
+			dPlan, nPlan, dLive, nLive)
+	}
+	out.Batches = nLive
+
+	timeRun := func(pl *plan.Plan) (float64, error) {
+		best := 0.0
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			_, n, err := pipelineDigest(mkCfg(pl))
+			if err != nil {
+				return 0, err
+			}
+			bps := float64(n) / time.Since(start).Seconds()
+			if bps > best {
+				best = bps
+			}
+		}
+		return best, nil
+	}
+	if out.LiveBatchSec, err = timeRun(nil); err != nil {
+		return out, err
+	}
+	if out.ReplayBatchSec, err = timeRun(pl); err != nil {
+		return out, err
+	}
+	out.Speedup = out.ReplayBatchSec / out.LiveBatchSec
+	fmt.Printf("replay   %s e=%d  live %7.1f b/s   replay %7.1f b/s   %.2fx  (compile %.3gs, plan %.1f MB)\n",
+		out.Dataset, out.Epochs, out.LiveBatchSec, out.ReplayBatchSec, out.Speedup,
+		out.CompileSec, float64(out.PlanBytes)/1e6)
+	return out, nil
+}
+
+// benchPlanSharing builds coreCount sampling cores × 4 cache-policy
+// variants and times the serial calibration fan-out without plan sharing
+// (each probe re-samples live) vs with it (estimator.Collect's
+// compile-once path). Record equality and the exact cache-counter
+// accounting gate the timings.
+func benchPlanSharing(coreCount int) (PlanShareBench, error) {
+	var out PlanShareBench
+	out.Dataset = dataset.OgbnArxiv
+
+	// One probe row per (core, policy): every probe in a core samples the
+	// identical stream, so the shared path must compile exactly one plan
+	// per core and serve the rest from cache.
+	type variant struct {
+		policy cache.Policy
+		ratio  float64
+	}
+	variants := []variant{
+		{cache.None, 0}, {cache.Static, 0.2}, {cache.FIFO, 0.2}, {cache.LRU, 0.2},
+	}
+	var cfgs []backend.Config
+	for core := 0; core < coreCount; core++ {
+		for _, v := range variants {
+			cfg := backend.Config{
+				Dataset:  out.Dataset,
+				Platform: "rtx4090",
+				Model:    model.SAGE,
+				Hidden:   32, Layers: 2, Heads: 2,
+				Epochs: 2, LR: 0.01,
+				Seed:        101 + int64(core)*997,
+				Sampler:     backend.SamplerSAGE,
+				BatchSize:   512,
+				Fanouts:     []int{10, 5},
+				CacheRatio:  v.ratio,
+				CachePolicy: v.policy,
+			}
+			if err := cfg.Validate(); err != nil {
+				return out, err
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	out.Probes = len(cfgs)
+	out.UniquePlans = coreCount
+
+	// Warm the memoized dataset stats off the clock so both sides time
+	// profiling runs only.
+	ds, err := dataset.Load(out.Dataset)
+	if err != nil {
+		return out, err
+	}
+	estimator.ProfileDataset(ds)
+
+	// Baseline: each probe runs with live sampling (no plan fetch at all;
+	// none of these policies touches the plan cache without SharePlan).
+	start := time.Now()
+	noShare := make([]*backend.Perf, len(cfgs))
+	for i, cfg := range cfgs {
+		perf, err := backend.RunWith(cfg, backend.Options{SkipTraining: true})
+		if err != nil {
+			return out, err
+		}
+		noShare[i] = perf
+	}
+	out.NoShareSec = time.Since(start).Seconds()
+
+	// Shared: the calibration collector's compile-once path, serial so
+	// the only difference from the baseline is plan sharing.
+	plan.ResetCounters()
+	start = time.Now()
+	recs, err := estimator.CollectWith(cfgs, false, 1)
+	if err != nil {
+		return out, err
+	}
+	out.ShareSec = time.Since(start).Seconds()
+	out.Compiles = plan.Compiles()
+	out.CacheHits = plan.CacheHits()
+
+	// Gate 1: replay changed nothing but wall time.
+	for i := range cfgs {
+		pa, pb := *noShare[i], *recs[i].Perf
+		pa.WallSec, pb.WallSec = 0, 0
+		if !reflect.DeepEqual(pa, pb) {
+			return out, fmt.Errorf("plan-bench: probe %d (%s) diverged under plan sharing", i, cfgs[i].Label())
+		}
+	}
+	// Gate 2: each unique plan was sampled exactly once.
+	if out.Compiles != int64(out.UniquePlans) || out.CacheHits != int64(out.Probes-out.UniquePlans) {
+		return out, fmt.Errorf("plan-bench: plan cache accounting: %d compiles + %d hits for %d probes over %d unique plans",
+			out.Compiles, out.CacheHits, out.Probes, out.UniquePlans)
+	}
+	out.Speedup = out.NoShareSec / out.ShareSec
+	fmt.Printf("sharing  %s  %d probes / %d plans  live %.3gs   shared %.3gs (%d compiles, %d hits)   %.2fx\n",
+		out.Dataset, out.Probes, out.UniquePlans, out.NoShareSec, out.ShareSec,
+		out.Compiles, out.CacheHits, out.Speedup)
+	return out, nil
+}

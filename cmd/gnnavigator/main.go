@@ -37,14 +37,22 @@ func main() {
 		maxTime   = flag.Float64("max-time", 0, "epoch time budget in seconds (0 = unconstrained)")
 		minAcc    = flag.Float64("min-acc", 0, "minimum accuracy in [0,1] (0 = unconstrained)")
 		samples   = flag.Int("calib-samples", 14, "estimator calibration probes per dataset")
-		policies  = flag.String("policies", "", "comma-separated cache policies to explore (none,static,freq,fifo,lru); empty = default space")
+		policies  = flag.String("policies", "", "comma-separated cache policies to explore (none,static,freq,fifo,lru,opt); empty = default space")
 		epochs    = flag.Int("epochs", 3, "training epochs")
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
 		procs     = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
 		prefetch  = flag.Int("prefetch", 0, "minibatch pipeline depth (0 = $GNNAV_PREFETCH or inline; results identical at any depth)")
+		savePlan  = flag.String("save-plan", "", "compile the training run's epoch plan and write it to this file (with -train)")
+		loadPlan  = flag.String("load-plan", "", "replay a compiled epoch plan from this file instead of sampling live (default $GNNAV_PLAN; with -train)")
 	)
 	flag.Parse()
+
+	// Like -prefetch/GNNAV_PREFETCH: the flag wins, the environment fills
+	// the default, so wrapper scripts can pin a plan once for many runs.
+	if *loadPlan == "" {
+		*loadPlan = os.Getenv("GNNAV_PLAN")
+	}
 
 	if *procs > 0 {
 		tensor.SetParallelism(*procs)
@@ -83,7 +91,7 @@ func main() {
 		for _, s := range strings.Split(*policies, ",") {
 			pol := cache.Policy(strings.TrimSpace(s))
 			if !pol.Valid() {
-				log.Fatalf("unknown cache policy %q; have none, static, freq, fifo, lru", s)
+				log.Fatalf("unknown cache policy %q; have none, static, freq, fifo, lru, opt", s)
 			}
 			space.Policies = append(space.Policies, pol)
 		}
@@ -104,6 +112,8 @@ func main() {
 		CalibSamples: *samples,
 		Epochs:       *epochs,
 		Prefetch:     *prefetch,
+		SavePlan:     *savePlan,
+		LoadPlan:     *loadPlan,
 		// -procs also governs the Navigator's coarse fan-outs (calibration
 		// runs, explorer predictions); 0 inherits the tensor default set
 		// above, so GNNAV_PROCS flows through end to end.

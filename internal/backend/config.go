@@ -101,6 +101,12 @@ func (c Config) Validate() error {
 	if c.BiasRate > 0 && c.CacheRatio == 0 {
 		return fmt.Errorf("backend: cache-aware bias needs a cache (ratio > 0)")
 	}
+	if c.CachePolicy == cache.Opt && c.BiasRate > 0 {
+		// Circular dependency: Opt's eviction script needs the exact future
+		// access order (a replayable plan), but cache-aware bias makes the
+		// access order depend on residency — which Opt's evictions mutate.
+		return fmt.Errorf("backend: opt cache policy requires unbiased sampling (BiasRate %v)", c.BiasRate)
+	}
 	if c.Layers < 1 || c.Hidden < 1 {
 		return fmt.Errorf("backend: bad model dims layers=%d hidden=%d", c.Layers, c.Hidden)
 	}

@@ -1,10 +1,8 @@
 package backend
 
 import (
-	"cmp"
 	"fmt"
 	"math"
-	"slices"
 	"time"
 
 	"gnnavigator/internal/cache"
@@ -14,6 +12,7 @@ import (
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
 	"gnnavigator/internal/pipeline"
+	"gnnavigator/internal/plan"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/sim"
 	"gnnavigator/internal/tensor"
@@ -76,6 +75,20 @@ type Options struct {
 	// -prefetch CLI flags); < 0 forces the inline serial loop. Outputs
 	// are bitwise-identical at every depth.
 	Prefetch int
+	// SharePlan fetches the run's epoch plan from the process-wide
+	// single-flight plan cache (plan.Shared) and replays it instead of
+	// sampling live — the calibration fan-out's "compile once, replay
+	// everywhere" path: probes differing only in cache/model knobs share
+	// one compiled plan. The determinism contract makes replay bitwise-
+	// identical to live sampling, so results are unchanged. Runs with
+	// cache-aware bias (BiasRate > 0) silently fall back to live sampling;
+	// their access stream depends on residency and cannot be replayed.
+	SharePlan bool
+	// Plan supplies an explicit pre-compiled epoch plan to replay
+	// (gnnavigator -load-plan). It must be compatible with the run's
+	// (sampler, seed, epochs, batch size, targets); incompatibility — or
+	// combining it with BiasRate > 0 — is an error, not a fallback.
+	Plan *plan.Plan
 }
 
 // prefetchDepth resolves the Options.Prefetch encoding to a concrete
@@ -140,20 +153,71 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	if capVertices == 0 {
 		policy = cache.None
 	}
+
+	// Epoch-plan resolution: an explicit opts.Plan is replayed as given;
+	// SharePlan (the calibration fan-out) and the Opt policy (which needs
+	// the exact future access order) fetch the run's plan from the
+	// process-wide single-flight cache. Cache-aware bias makes sampling
+	// depend on residency, so biased runs always sample live: SharePlan
+	// silently falls back, an explicit Plan is an error, and Opt+bias is
+	// already rejected by Validate.
+	var pl *plan.Plan
+	if opts.Plan != nil || ((opts.SharePlan || policy == cache.Opt) && cfg.BiasRate == 0) {
+		if cfg.BiasRate > 0 {
+			return nil, fmt.Errorf("backend: plan replay is incompatible with cache-aware biased sampling (BiasRate %v)", cfg.BiasRate)
+		}
+		preSmp, _, err := buildSampler(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Plan != nil {
+			if err := opts.Plan.CompatibleWith(preSmp, cfg.Seed, cfg.Epochs, cfg.BatchSize, true, ds.TrainIdx); err != nil {
+				return nil, fmt.Errorf("backend: %w", err)
+			}
+			pl = opts.Plan
+		} else {
+			key := plan.KeyFor(cfg.Dataset, cfg.Reorder, preSmp, cfg.BatchSize, cfg.Seed, cfg.Epochs, true, ds.TrainIdx)
+			if pl, err = plan.Shared(g, preSmp, key, ds.TrainIdx); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var src cache.FeatureSource
 	switch {
 	case policy == cache.None:
 		src = cache.NewGraphSource(g)
 	case policy == cache.Freq:
-		// Pre-sample admission: an unbiased instance of the run's own
-		// sampler replays a salted epoch plan, and the most frequently
-		// touched input vertices fill the cache before training.
+		// Pre-sample admission, mined from a compiled plan: an unbiased
+		// instance of the run's own sampler compiles a salted one-epoch
+		// plan (fetched through the shared plan cache, so every probe of a
+		// calibration fan-out reuses the same pre-sampling pass), and the
+		// most frequently touched input vertices fill the cache before
+		// training. The mining plan is always unbiased — matching the
+		// legacy pre-sample pass, which drew without residency bias even
+		// for biased runs — so it is shared across bias rates too.
 		preSmp, _, err := buildSampler(cfg, nil)
 		if err != nil {
 			return nil, err
 		}
-		order := freqAdmissionOrder(cfg, g, ds.TrainIdx, preSmp)
-		devCache, err := cache.NewWithOrder(cache.Freq, capVertices, g, order)
+		mineKey := plan.KeyFor(cfg.Dataset, cfg.Reorder, preSmp, cfg.BatchSize, cfg.Seed+freqSeedSalt, 1, true, ds.TrainIdx)
+		minePl, err := plan.Shared(g, preSmp, mineKey, ds.TrainIdx)
+		if err != nil {
+			return nil, err
+		}
+		devCache, err := cache.NewWithOrder(cache.Freq, capVertices, g, minePl.CountOrder(g))
+		if err != nil {
+			return nil, err
+		}
+		src = cache.NewCachedSource(devCache, g)
+	case policy == cache.Opt:
+		// Belady upper bound: the run's own plan is mined for the exact
+		// future access order the device cache will see.
+		script, err := cache.BuildOptScript(g.NumVertices(), pl.BatchInputs(cfg.Epochs))
+		if err != nil {
+			return nil, err
+		}
+		devCache, err := cache.NewOpt(capVertices, g, script)
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +382,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		Shuffle:   true,
 		Gather:    !opts.SkipTraining,
 		Prefetch:  prefetch,
+		Plan:      pl,
 		// Keyed on the effective policy, not cfg.CachePolicy: a
 		// zero-capacity cache is downgraded to None above, and a
 		// prefilled (None/Static/Freq) residency never needs stage
@@ -409,47 +474,42 @@ func buildSampler(cfg Config, res sample.Residency) (sample.Sampler, int, error)
 	return nil, 0, fmt.Errorf("backend: unknown sampler %q", cfg.Sampler)
 }
 
-// freqSeedSalt decorrelates the pre-sampling pass's RNG chain from the
-// training epochs' (sample.BatchRNG over (Seed, epoch, batch)): the
-// admission counts come from a statistically identical but independent
-// replay of one epoch plan.
+// freqSeedSalt decorrelates the Freq pre-sampling (mining) plan's RNG
+// chain from the training epochs' (sample.BatchRNG over (Seed, epoch,
+// batch)): the admission counts come from a statistically identical but
+// independent one-epoch plan, compiled through the shared plan cache and
+// mined with plan.CountOrder.
 const freqSeedSalt = 0x5eed
 
-// freqAdmissionOrder measures which input vertices one epoch of the
-// run's own (unbiased) sampler actually touches and returns all
-// vertices ordered by access count descending (ties by ascending id),
-// with never-touched vertices appended in degree order so a large cache
-// still fills deterministically. The Freq policy admits the first
-// capacity entries — pre-sample admission instead of Static's degree
-// heuristic.
-func freqAdmissionOrder(cfg Config, g *graph.Graph, targets []int32, smp sample.Sampler) []int32 {
-	counts := make([]int64, g.NumVertices())
-	seed := cfg.Seed + freqSeedSalt
-	plan := sample.EpochBatches(sample.EpochRNG(seed, 0), targets, cfg.BatchSize)
-	for i, tg := range plan {
-		mb := smp.Sample(sample.BatchRNG(seed, 0, i), g, tg)
-		for _, v := range mb.InputNodes {
-			counts[v]++
+// CompilePlan compiles (or fetches from the process-wide plan cache) the
+// epoch plan cfg's training run follows — the artifact `gnnavigator
+// -save-plan` persists and `-load-plan` feeds back through Options.Plan.
+// Requires unbiased sampling: a cache-aware bias makes the sampling
+// depend on residency, which a pre-compiled plan cannot reflect.
+func CompilePlan(cfg Config) (*plan.Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BiasRate > 0 {
+		return nil, fmt.Errorf("backend: cannot compile a plan for cache-aware biased sampling (BiasRate %v)", cfg.BiasRate)
+	}
+	ds, err := dataset.Load(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Graph
+	if cfg.Reorder {
+		g, err = g.Relabel(g.DegreeReorderPerm())
+		if err != nil {
+			return nil, fmt.Errorf("backend: reorder: %w", err)
 		}
 	}
-	order := make([]int32, 0, len(counts))
-	for v := range counts {
-		if counts[v] > 0 {
-			order = append(order, int32(v))
-		}
+	preSmp, _, err := buildSampler(cfg, nil)
+	if err != nil {
+		return nil, err
 	}
-	slices.SortFunc(order, func(a, b int32) int {
-		if counts[a] != counts[b] {
-			return cmp.Compare(counts[b], counts[a])
-		}
-		return cmp.Compare(a, b)
-	})
-	for _, v := range g.DegreeOrder() {
-		if counts[v] == 0 {
-			order = append(order, v)
-		}
-	}
-	return order
+	key := plan.KeyFor(cfg.Dataset, cfg.Reorder, preSmp, cfg.BatchSize, cfg.Seed, cfg.Epochs, true, ds.TrainIdx)
+	return plan.Shared(g, preSmp, key, ds.TrainIdx)
 }
 
 // analyticFullBound is the τ=1 bound of Eq. 12 at paper scale: the

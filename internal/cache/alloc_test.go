@@ -24,7 +24,7 @@ func TestLookupUpdateZeroAllocs(t *testing.T) {
 	}
 	stream := accessStream(t, g, 16, 512, 19)
 	for _, policy := range Policies() {
-		c, err := kernelFor(t, policy, 400, g)
+		c, err := kernelFor(t, policy, 400, g, stream)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,11 +75,22 @@ func TestGatherIntoZeroAllocs(t *testing.T) {
 	}
 }
 
-// kernelFor builds a policy's cache, routing Freq through NewWithOrder.
-func kernelFor(t *testing.T, policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
+// kernelFor builds a policy's cache: Freq routes through NewWithOrder,
+// Opt through NewOpt with a script compiled from the access stream
+// itself (driving past the script's horizon is legal — every remaining
+// access prices as "never used again" and bypasses, allocation-free).
+func kernelFor(t *testing.T, policy Policy, capacity int, g *graph.Graph, stream [][]int32) (*Cache, error) {
 	t.Helper()
-	if policy == Freq {
+	switch policy {
+	case Freq:
 		return NewWithOrder(Freq, capacity, g, g.DegreeOrder())
+	case Opt:
+		script, err := BuildOptScript(g.NumVertices(), sliceSeq(stream))
+		if err != nil {
+			return nil, err
+		}
+		return NewOpt(capacity, g, script)
+	default:
+		return New(policy, capacity, g)
 	}
-	return New(policy, capacity, g)
 }

@@ -59,24 +59,31 @@ const (
 	Freq   Policy = "freq"
 	FIFO   Policy = "fifo"
 	LRU    Policy = "lru"
+	// Opt is the offline-optimal (Belady MIN) policy: evictions and
+	// admissions consult the exact future access order compiled from the
+	// run's epoch plan (internal/plan), so it is the upper bound every
+	// online policy is measured against. Script-driven — construct with
+	// NewOpt. Requires unbiased sampling (the replayable-plan contract).
+	Opt Policy = "opt"
 )
 
-// Policies lists all supported policies in presentation order.
-func Policies() []Policy { return []Policy{None, Static, Freq, FIFO, LRU} }
+// Policies lists all supported policies in presentation order (Opt last:
+// the upper-bound ablation row).
+func Policies() []Policy { return []Policy{None, Static, Freq, FIFO, LRU, Opt} }
 
 // Valid reports whether p is a known policy.
 func (p Policy) Valid() bool {
 	switch p {
-	case None, Static, Freq, FIFO, LRU:
+	case None, Static, Freq, FIFO, LRU, Opt:
 		return true
 	}
 	return false
 }
 
 // Dynamic reports whether the policy mutates residency at run time
-// (FIFO/LRU). None never holds anything; Static and Freq are frozen
+// (FIFO/LRU/Opt). None never holds anything; Static and Freq are frozen
 // after construction.
-func (p Policy) Dynamic() bool { return p == FIFO || p == LRU }
+func (p Policy) Dynamic() bool { return p == FIFO || p == LRU || p == Opt }
 
 // Prefilled reports whether the policy fixes residency up front from an
 // admission order (Static from degree order, Freq from pre-sampled
@@ -143,25 +150,65 @@ type Cache struct {
 	featDim int
 	g       *graph.Graph
 
+	// Opt (Belady) state: the compiled future-access script, per-vertex
+	// cursors into its occurrence lists, per-slot next-use positions and
+	// an indexed max-heap over slots keyed by (nextUse, vertex). clock is
+	// the global access position. Writer-only; see opt.go.
+	script  *OptScript
+	cursor  []int32
+	nextUse []int32
+	heapOf  []int32 // heap position -> slot
+	heapPos []int32 // slot -> heap position
+	clock   int32
+
 	hits, misses, updates atomic.Int64
+}
+
+// defaultAdmissionOrder resolves the admission order a policy's
+// plain constructor (New, NewMapReference, NewShards) can derive on its
+// own: Static pre-fills from g's degree order; Freq needs a pre-sampled
+// frequency order the caller must supply through the named WithOrder
+// constructor; Opt is script-driven (NewOpt), not order-driven. This is
+// the one shared home for the admission-order rules all six cache
+// constructors used to restate.
+func defaultAdmissionOrder(policy Policy, g *graph.Graph, withOrder string) ([]int32, error) {
+	switch policy {
+	case Freq:
+		return nil, fmt.Errorf("cache: freq policy needs a pre-sampled admission order; use %s", withOrder)
+	case Opt:
+		return nil, fmt.Errorf("cache: opt policy needs a compiled plan script; use NewOpt")
+	case Static:
+		if g == nil {
+			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
+		}
+		return g.DegreeOrder(), nil
+	}
+	return nil, nil
+}
+
+// requireAdmissionOrder validates the (policy, explicit order) pair the
+// WithOrder constructors receive: prefilled policies need a non-nil
+// order, and Opt takes a script, never an order.
+func requireAdmissionOrder(policy Policy, order []int32) error {
+	if policy == Opt {
+		return fmt.Errorf("cache: opt policy is script-driven; use NewOpt")
+	}
+	if policy.Prefilled() && order == nil {
+		return fmt.Errorf("cache: %s policy requires an admission order", policy)
+	}
+	return nil
 }
 
 // New builds a cache with the given policy and capacity (in vertices).
 // For Static, the cache is pre-filled with the capacity highest-degree
 // vertices of g (PaGraph's policy). Freq needs an explicit admission
-// order — use NewWithOrder. g may be nil for None/FIFO/LRU, in which
-// case the cache tracks residency only (no feature rows) and grows its
-// slot table lazily.
+// order (NewWithOrder) and Opt a compiled plan script (NewOpt). g may be
+// nil for None/FIFO/LRU, in which case the cache tracks residency only
+// (no feature rows) and grows its slot table lazily.
 func New(policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
-	if policy == Freq {
-		return nil, fmt.Errorf("cache: freq policy needs a pre-sampled admission order; use NewWithOrder")
-	}
-	var order []int32
-	if policy == Static {
-		if g == nil {
-			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
-		}
-		order = g.DegreeOrder()
+	order, err := defaultAdmissionOrder(policy, g, "NewWithOrder")
+	if err != nil {
+		return nil, err
 	}
 	return NewWithOrder(policy, capacity, g, order)
 }
@@ -178,6 +225,9 @@ func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*
 	}
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if err := requireAdmissionOrder(policy, order); err != nil {
+		return nil, err
 	}
 	c := &Cache{policy: policy, capacity: capacity, head: -1, tail: -1}
 	if g != nil {
@@ -197,9 +247,6 @@ func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*
 		c.vertexOf = make([]int32, capacity)
 	}
 	if policy.Prefilled() {
-		if order == nil {
-			return nil, fmt.Errorf("cache: %s policy requires an admission order", policy)
-		}
 		n := min(capacity, len(order))
 		c.vertexOf = make([]int32, n)
 		var maxV int32 = -1
@@ -332,6 +379,28 @@ func (c *Cache) LookupInto(dst, nodes []int32) []int32 {
 	case c.policy == None:
 		misses = int64(len(nodes))
 		dst = append(dst, nodes...)
+	case c.policy == Opt:
+		// Belady bookkeeping: every access advances the vertex's script
+		// cursor (and the global clock); a hit refreshes the slot's
+		// next-use key in the eviction heap. Admissions are deferred to
+		// Update, which reads the already-advanced cursors — correct
+		// because a batch's input vertices are distinct.
+		arr := *c.slots.Load()
+		for _, v := range nodes {
+			next := c.scriptAdvance(v)
+			s := int32(-1)
+			if int(v) < len(arr) {
+				s = atomic.LoadInt32(&arr[v])
+			}
+			if s < 0 {
+				misses++
+				dst = append(dst, v)
+				continue
+			}
+			hits++
+			c.nextUse[s] = next
+			c.heapFix(s)
+		}
 	default:
 		// Hoist the slot-array snapshot out of the loop: the writer is
 		// the only goroutine that swaps it (growSlots), so one load
@@ -367,6 +436,9 @@ func (c *Cache) LookupInto(dst, nodes []int32) []int32 {
 func (c *Cache) Update(miss []int32) int {
 	if !c.policy.Dynamic() || c.capacity == 0 {
 		return 0
+	}
+	if c.policy == Opt {
+		return c.optUpdate(miss)
 	}
 	// One growth check covers the batch, so the admission loop works on
 	// a single slot-array snapshot.

@@ -38,15 +38,9 @@ type MapReference struct {
 // capacity, mirroring New (Static pre-fills from g's degree order; Freq
 // needs NewMapReferenceWithOrder).
 func NewMapReference(policy Policy, capacity int, g *graph.Graph) (*MapReference, error) {
-	if policy == Freq {
-		return nil, fmt.Errorf("cache: freq reference needs an admission order; use NewMapReferenceWithOrder")
-	}
-	var order []int32
-	if policy == Static {
-		if g == nil {
-			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
-		}
-		order = g.DegreeOrder()
+	order, err := defaultAdmissionOrder(policy, g, "NewMapReferenceWithOrder")
+	if err != nil {
+		return nil, err
 	}
 	return NewMapReferenceWithOrder(policy, capacity, order)
 }
@@ -61,6 +55,9 @@ func NewMapReferenceWithOrder(policy Policy, capacity int, order []int32) (*MapR
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
 	}
+	if err := requireAdmissionOrder(policy, order); err != nil {
+		return nil, err
+	}
 	c := &MapReference{
 		policy:   policy,
 		capacity: capacity,
@@ -68,9 +65,6 @@ func NewMapReferenceWithOrder(policy Policy, capacity int, order []int32) (*MapR
 		order:    list.New(),
 	}
 	if policy.Prefilled() {
-		if order == nil {
-			return nil, fmt.Errorf("cache: %s policy requires an admission order", policy)
-		}
 		c.staticResident = make(map[int32]bool, capacity)
 		for i, v := range order {
 			if i >= capacity {

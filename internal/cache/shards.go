@@ -37,12 +37,9 @@ func NewShards(policy Policy, capacity, n int, g *graph.Graph) (*Shards, error) 
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("cache: shard count %d is not a power of two", n)
 	}
-	var order []int32
-	if policy == Static {
-		if g == nil {
-			return nil, fmt.Errorf("cache: static policy requires a graph for degree ordering")
-		}
-		order = g.DegreeOrder()
+	order, err := defaultAdmissionOrder(policy, g, "NewShardsWithOrder")
+	if err != nil {
+		return nil, err
 	}
 	return NewShardsWithOrder(policy, capacity, n, g, order)
 }
@@ -52,6 +49,9 @@ func NewShards(policy Policy, capacity, n int, g *graph.Graph) (*Shards, error) 
 func NewShardsWithOrder(policy Policy, capacity, n int, g *graph.Graph, order []int32) (*Shards, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("cache: shard count %d is not a power of two", n)
+	}
+	if err := requireAdmissionOrder(policy, order); err != nil {
+		return nil, err
 	}
 	s := &Shards{shards: make([]*Cache, n), mask: int32(n - 1)}
 	for i := range s.shards {

@@ -15,6 +15,7 @@ import (
 	"gnnavigator/internal/dse"
 	"gnnavigator/internal/estimator"
 	"gnnavigator/internal/model"
+	"gnnavigator/internal/plan"
 )
 
 // Input is everything the user supplies (Fig. 2 "User Input").
@@ -68,6 +69,17 @@ type Input struct {
 	// bitwise-identical at any value — like Prefetch, this is purely a
 	// wall-clock knob.
 	Parallelism int
+
+	// SavePlan, when non-empty, compiles the final training run's epoch
+	// plan (backend.CompilePlan) and writes it to this path before
+	// training. LoadPlan, when non-empty, replays a previously saved plan
+	// instead of sampling live — the plan must be compatible with the
+	// chosen configuration (sampler, seed, epochs, batch size, dataset).
+	// Replay is bitwise-identical to live sampling; both require unbiased
+	// sampling (BiasRate 0). The gnnavigator -save-plan/-load-plan flags
+	// (and the GNNAV_PLAN env default for loading) map onto these.
+	SavePlan string
+	LoadPlan string
 
 	Seed int64
 }
@@ -266,9 +278,33 @@ func (n *Navigator) Explore() (*Guidelines, error) {
 
 // Train performs Step 3: execute a guideline configuration for real and
 // return the measured performance. The run uses the Navigator's pipeline
-// prefetch depth; results are bitwise-identical at any depth.
+// prefetch depth; results are bitwise-identical at any depth. When
+// Input.SavePlan/LoadPlan are set, the run's epoch plan is persisted /
+// replayed from disk (see Input).
 func (n *Navigator) Train(cfg backend.Config) (*backend.Perf, error) {
-	return backend.RunWith(cfg, backend.Options{Prefetch: n.in.Prefetch})
+	opts := backend.Options{Prefetch: n.in.Prefetch}
+	if n.in.LoadPlan != "" {
+		p, err := plan.LoadFile(n.in.LoadPlan)
+		if err != nil {
+			return nil, fmt.Errorf("core: load plan: %w", err)
+		}
+		opts.Plan = p
+	}
+	if n.in.SavePlan != "" {
+		p, err := backend.CompilePlan(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile plan: %w", err)
+		}
+		if err := plan.SaveFile(n.in.SavePlan, p); err != nil {
+			return nil, fmt.Errorf("core: save plan: %w", err)
+		}
+		if opts.Plan == nil {
+			// Replay the plan just compiled: the run skips its sampler
+			// stage and is guaranteed consistent with the saved artifact.
+			opts.Plan = p
+		}
+	}
+	return backend.RunWith(cfg, opts)
 }
 
 // Run chains Explore and Train on the chosen guideline.

@@ -48,9 +48,12 @@ func DefaultSpace() Space {
 		FanoutSets:  [][]int{{5, 5}, {10, 5}, {15, 8}, {25, 10}},
 		WalkLengths: []int{8, 12},
 		CacheRatios: []float64{0, 0.08, 0.15, 0.3, 0.45},
-		Policies:    []cache.Policy{cache.Static, cache.Freq, cache.FIFO, cache.LRU},
-		BiasRates:   []float64{0, 0.9},
-		Hiddens:     []int{32, 64},
+		// Opt last: the offline-optimal upper bound. Config.Validate
+		// rejects Opt with cache-aware bias, so forEachLeaf's Validate
+		// filter prunes those combos automatically.
+		Policies:  []cache.Policy{cache.Static, cache.Freq, cache.FIFO, cache.LRU, cache.Opt},
+		BiasRates: []float64{0, 0.9},
+		Hiddens:   []int{32, 64},
 	}
 }
 

@@ -209,6 +209,13 @@ func CollectWith(cfgs []backend.Config, withAccuracy bool, workers int, opts ...
 		runOpts = opts[0]
 	}
 	runOpts.SkipTraining = !withAccuracy
+	// Compile once, replay everywhere: probes that share a sampling core
+	// (sampler, batch size, seed, epochs — see ProbeConfigs) differ only
+	// in cache/model knobs, so they fetch one compiled epoch plan from the
+	// shared plan cache instead of each re-sampling the identical stream.
+	// Replay is bitwise-identical to live sampling, so records are
+	// unchanged; biased probes fall back to live sampling automatically.
+	runOpts.SharePlan = true
 	if workers <= 0 {
 		workers = tensor.Parallelism()
 	}
@@ -243,15 +250,55 @@ func CollectWith(cfgs []backend.Config, withAccuracy bool, workers int, opts ...
 	return out, nil
 }
 
+// samplingCore is the subset of probe knobs that determines an epoch
+// plan (the plan.Key dimensions): sampler shape, batch size and seed.
+// Probes built over the same core sample identical streams, so their
+// profiling runs share one compiled plan (Collect sets SharePlan).
+type samplingCore struct {
+	sampler    backend.SamplerKind
+	batchSize  int
+	fanouts    []int
+	walkLength int
+	seed       int64
+}
+
 // ProbeConfigs draws n randomized configurations on a dataset, spanning
-// the design space, for estimator training.
+// the design space, for estimator training. The draw is structured as a
+// pool of ~2n/3 sampling cores crossed with per-probe cache/model knobs:
+// the cache dimensions (ratio, policy, bias) are what the estimator must
+// learn to separate, and reusing cores across them means the calibration
+// fan-out compiles each unique epoch plan once and replays it for every
+// probe that shares it. The pool deliberately stays close to the probe
+// count: probes sharing a core also share their accuracy label (same
+// stream, same model seed), so an aggressively small pool starves the
+// accuracy regressor of distinct observations. Two thirds keeps ~1/3 of
+// sampling work deduplicated without measurably hurting Table-2 MSE.
 func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed int64) []backend.Config {
 	rng := rand.New(rand.NewSource(seed))
 	batchSizes := []int{256, 512, 1024, 2048}
 	fanoutSets := [][]int{{5, 5}, {10, 5}, {10, 10}, {15, 8}, {25, 10}}
 	ratios := []float64{0, 0.05, 0.1, 0.2, 0.35, 0.5}
+	cores := make([]samplingCore, max(2, (2*n+2)/3))
+	for i := range cores {
+		c := samplingCore{
+			sampler:   backend.SamplerSAGE,
+			batchSize: batchSizes[rng.Intn(len(batchSizes))],
+			fanouts:   fanoutSets[rng.Intn(len(fanoutSets))],
+			seed:      rng.Int63(),
+		}
+		switch rng.Intn(5) {
+		case 0:
+			c.sampler = backend.SamplerSAINT
+			c.fanouts = nil
+			c.walkLength = 4 + rng.Intn(12)
+		case 1:
+			c.sampler = backend.SamplerFastGCN
+		}
+		cores[i] = c
+	}
 	out := make([]backend.Config, 0, n)
 	for len(out) < n {
+		core := cores[rng.Intn(len(cores))]
 		cfg := backend.Config{
 			Dataset:  dsName,
 			Platform: platform,
@@ -261,24 +308,17 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 			Heads:    2,
 			Epochs:   2,
 			LR:       0.01,
-			Seed:     rng.Int63(),
+			Seed:     core.seed,
 
-			Sampler:     backend.SamplerSAGE,
-			BatchSize:   batchSizes[rng.Intn(len(batchSizes))],
-			Fanouts:     fanoutSets[rng.Intn(len(fanoutSets))],
+			Sampler:     core.sampler,
+			BatchSize:   core.batchSize,
+			Fanouts:     core.fanouts,
+			WalkLength:  core.walkLength,
 			CacheRatio:  ratios[rng.Intn(len(ratios))],
 			CachePolicy: cache.None,
 		}
-		switch rng.Intn(5) {
-		case 0:
-			cfg.Sampler = backend.SamplerSAINT
-			cfg.Fanouts = nil
-			cfg.WalkLength = 4 + rng.Intn(12)
-		case 1:
-			cfg.Sampler = backend.SamplerFastGCN
-		}
 		if cfg.CacheRatio > 0 {
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				cfg.CachePolicy = cache.Static
 				if rng.Intn(2) == 0 && cfg.Sampler == backend.SamplerSAGE {
@@ -288,6 +328,8 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 				cfg.CachePolicy = cache.FIFO
 			case 2:
 				cfg.CachePolicy = cache.Freq
+			case 3:
+				cfg.CachePolicy = cache.Opt
 			default:
 				cfg.CachePolicy = cache.LRU
 			}
@@ -330,6 +372,8 @@ func features(cfg backend.Config, st GraphStats) []float64 {
 		policy = 3
 	case cache.Freq:
 		policy = 4
+	case cache.Opt:
+		policy = 5
 	}
 	samplerCode := 0.0
 	switch cfg.Sampler {

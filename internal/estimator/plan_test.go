@@ -1,0 +1,103 @@
+package estimator
+
+import (
+	"reflect"
+	"testing"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/plan"
+)
+
+// planProbeSet builds one sampling core crossed with cache-policy
+// variants — the probe shape whose sampling the plan cache deduplicates.
+func planProbeSet(t *testing.T) []backend.Config {
+	t.Helper()
+	variants := []struct {
+		policy cache.Policy
+		ratio  float64
+	}{
+		{cache.None, 0}, {cache.Static, 0.2}, {cache.FIFO, 0.2}, {cache.LRU, 0.2},
+	}
+	var cfgs []backend.Config
+	for _, v := range variants {
+		cfg := backend.Config{
+			Dataset:  dataset.OgbnArxiv,
+			Platform: "rtx4090",
+			Model:    model.SAGE,
+			Hidden:   32, Layers: 2, Heads: 2,
+			Epochs: 2, LR: 0.01,
+			Seed:        5151,
+			Sampler:     backend.SamplerSAGE,
+			BatchSize:   512,
+			Fanouts:     []int{10, 5},
+			CacheRatio:  v.ratio,
+			CachePolicy: v.policy,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestCollectPlanSharedEquivalent is the calibration-sharing contract:
+// Collect's plan-shared profiling runs must return Records identical to
+// the live re-sampling path (modulo WallSec, the documented host-time
+// exception), while compiling each unique epoch plan exactly once.
+func TestCollectPlanSharedEquivalent(t *testing.T) {
+	cfgs := planProbeSet(t)
+
+	// Reference: every probe samples live (no SharePlan).
+	want := make([]*backend.Perf, len(cfgs))
+	for i, cfg := range cfgs {
+		perf, err := backend.RunWith(cfg, backend.Options{SkipTraining: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = perf
+	}
+
+	plan.ResetCounters()
+	recs, err := CollectWith(cfgs, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(cfgs) {
+		t.Fatalf("got %d records, want %d", len(recs), len(cfgs))
+	}
+	for i := range cfgs {
+		pa, pb := *want[i], *recs[i].Perf
+		pa.WallSec, pb.WallSec = 0, 0
+		if !reflect.DeepEqual(pa, pb) {
+			t.Errorf("probe %d (%s): plan-shared Perf differs from live sampling:\nshared: %+v\nlive:   %+v",
+				i, cfgs[i].Label(), pb, pa)
+		}
+	}
+	// All four probes share one sampling core: exactly one compile, the
+	// rest cache hits. (The plans themselves persist across ResetCounters,
+	// so this test builds its core from a seed no other caller uses.)
+	if c, h := plan.Compiles(), plan.CacheHits(); c != 1 || h != int64(len(cfgs)-1) {
+		t.Errorf("plan cache counters (compiles=%d, hits=%d), want (1, %d)", c, h, len(cfgs)-1)
+	}
+}
+
+// TestProbeConfigsShareCores: the probe generator must draw more probes
+// than sampling cores (pigeonhole), so real calibration fan-outs always
+// contain plan-sharing collisions for the cache to exploit.
+func TestProbeConfigsShareCores(t *testing.T) {
+	cfgs := ProbeConfigs(dataset.OgbnArxiv, model.SAGE, "rtx4090", 30, 5)
+	seeds := map[int64]bool{}
+	for _, c := range cfgs {
+		seeds[c.Seed] = true
+	}
+	if len(seeds) >= len(cfgs) {
+		t.Errorf("%d probes drew %d distinct sampling cores — no sharing possible", len(cfgs), len(seeds))
+	}
+	if len(seeds) < 2 {
+		t.Errorf("only %d distinct cores — diversity collapsed", len(seeds))
+	}
+}

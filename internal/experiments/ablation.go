@@ -77,11 +77,12 @@ type AblationCacheRow struct {
 	TransferMB float64 // measured host→device feature traffic (scaled run)
 }
 
-// RunAblationCachePolicy compares none/static/freq/fifo/lru at the same
-// capacity on Reddit2+SAGE — the "cache update policy" knob of Fig. 3,
-// including the feature plane's pre-sample-admission policy.
+// RunAblationCachePolicy compares none/static/freq/fifo/lru/opt at the
+// same capacity on Reddit2+SAGE — the "cache update policy" knob of
+// Fig. 3, including the feature plane's pre-sample-admission policy and
+// the plan-mined offline-optimal (Belady) upper bound.
 func RunAblationCachePolicy(w io.Writer, f Fidelity) ([]AblationCacheRow, error) {
-	fmt.Fprintln(w, "# Ablation: cache policy at fixed ratio 0.3 (Reddit2+SAGE)")
+	fmt.Fprintln(w, "# Ablation: cache policy at fixed ratio 0.3 (Reddit2+SAGE; opt = offline upper bound)")
 	fmt.Fprintf(w, "%-8s %8s %10s %10s %10s\n", "policy", "hit", "epoch(s)", "Γ(GB)", "xfer(MB)")
 	var out []AblationCacheRow
 	for _, pol := range cache.Policies() {

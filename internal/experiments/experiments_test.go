@@ -107,8 +107,8 @@ func TestAblationCachePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunAblationCachePolicy: %v", err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("rows = %d, want 5 policies", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 policies", len(rows))
 	}
 	byPolicy := map[string]AblationCacheRow{}
 	for _, r := range rows {
@@ -127,10 +127,20 @@ func TestAblationCachePolicy(t *testing.T) {
 	}
 	// Transfer volume must mirror the hit rate: every cached policy moves
 	// fewer bytes than no cache at all.
-	for _, pol := range []string{"static", "freq", "fifo", "lru"} {
+	for _, pol := range []string{"static", "freq", "fifo", "lru", "opt"} {
 		if byPolicy[pol].TransferMB >= byPolicy["none"].TransferMB {
 			t.Errorf("%s transferred %.1f MB, not below none's %.1f MB",
 				pol, byPolicy[pol].TransferMB, byPolicy["none"].TransferMB)
+		}
+	}
+	// The plan-mined offline-optimal policy is the upper bound: at equal
+	// capacity (every cached row runs ratio 0.3) it must dominate or tie
+	// every online policy's hit rate. A violation here means the Belady
+	// implementation is wrong, not that the bound is loose.
+	for _, pol := range []string{"static", "freq", "fifo", "lru"} {
+		if byPolicy["opt"].HitRate < byPolicy[pol].HitRate {
+			t.Errorf("opt hit rate %.4f below %s's %.4f — offline optimum violated",
+				byPolicy["opt"].HitRate, pol, byPolicy[pol].HitRate)
 		}
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/model"
+	"gnnavigator/internal/plan"
 	"gnnavigator/internal/sample"
 	"gnnavigator/internal/tensor"
 )
@@ -149,6 +150,17 @@ type Config struct {
 	// Gather fills Batch.Feats/Batch.Labels in the gather stage.
 	Gather bool
 
+	// Plan, when set, replaces the sampler stage with plan replay: each
+	// batch's minibatch is decoded from the compiled epoch plan instead of
+	// being re-sampled. The determinism contract makes this a pure
+	// substitution — replayed batches are bitwise-identical to live
+	// sampling at every prefetch depth. The plan must be compatible with
+	// (Sampler, Seed, Epochs, BatchSize, Shuffle, Targets); Sampler is
+	// then consulted only for its identity, never invoked. Incompatible
+	// with CoupledSampler: a cache-aware bias makes sampling depend on
+	// residency, which a pre-compiled plan cannot reflect.
+	Plan *plan.Plan
+
 	// Prefetch is the lookahead depth: how many batches each stage may
 	// run ahead of the consumer. <= 0 runs the inline path (no
 	// goroutines), which is the bitwise reference for every depth.
@@ -173,36 +185,36 @@ func (cfg *Config) validate() error {
 	if cfg.Epochs < 1 {
 		return fmt.Errorf("pipeline: epochs %d < 1", cfg.Epochs)
 	}
+	if cfg.Plan != nil {
+		if cfg.CoupledSampler {
+			return fmt.Errorf("pipeline: plan replay cannot drive a coupled (cache-aware) sampler")
+		}
+		if err := cfg.Plan.CompatibleWith(cfg.Sampler, cfg.Seed, cfg.Epochs, cfg.BatchSize, cfg.Shuffle, cfg.Targets); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+	}
 	return nil
 }
 
 // plan returns epoch e's batch list. With Shuffle the permutation comes
 // from the per-epoch stream (independent of every other epoch); without,
-// targets are chunked in the given order.
+// targets are chunked in the given order. sample.EpochPlan is the single
+// source of truth here, shared with the plan compiler (internal/plan).
 func (cfg *Config) plan(epoch int) [][]int32 {
-	if cfg.Shuffle {
-		return sample.EpochBatches(sample.EpochRNG(cfg.Seed, epoch), cfg.Targets, cfg.BatchSize)
-	}
-	b0 := cfg.BatchSize
-	if b0 <= 0 {
-		b0 = len(cfg.Targets)
-	}
-	var out [][]int32
-	for start := 0; start < len(cfg.Targets); start += b0 {
-		out = append(out, cfg.Targets[start:min(start+b0, len(cfg.Targets))])
-	}
-	return out
+	return sample.EpochPlan(cfg.Seed, epoch, cfg.Targets, cfg.BatchSize, cfg.Shuffle)
 }
 
-// sampleBatch is the sampler stage's work for one batch.
+// sampleBatch is the sampler stage's work for one batch: live sampling
+// through the per-batch RNG, or plan replay when Config.Plan is set.
 func (cfg *Config) sampleBatch(epoch, index int, targets []int32) *Batch {
-	rng := sample.BatchRNG(cfg.Seed, epoch, index)
-	return &Batch{
-		Epoch:   epoch,
-		Index:   index,
-		Targets: targets,
-		MB:      cfg.Sampler.Sample(rng, cfg.Graph, targets),
+	b := &Batch{Epoch: epoch, Index: index, Targets: targets}
+	if cfg.Plan != nil {
+		b.MB = cfg.Plan.Replay(epoch, index)
+		return b
 	}
+	rng := sample.BatchRNG(cfg.Seed, epoch, index)
+	b.MB = cfg.Sampler.Sample(rng, cfg.Graph, targets)
+	return b
 }
 
 // prepareBatch is the cache+gather stage's work for one batch: route the

@@ -8,6 +8,7 @@ import (
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/graph"
+	"gnnavigator/internal/plan"
 	"gnnavigator/internal/sample"
 )
 
@@ -170,6 +171,12 @@ func TestKernelEquivalenceThroughPipeline(t *testing.T) {
 	const capacity = 1200
 	freqOrder := g.DegreeOrder() // any fixed admission order works here
 	for _, policy := range cache.Policies() {
+		if policy == cache.Opt {
+			// Script-driven: the frozen map+list reference has no
+			// offline-optimal counterpart. Opt's pipeline behaviour is
+			// covered by the backend ablation and cache/opt_test.go.
+			continue
+		}
 		t.Run(string(policy), func(t *testing.T) {
 			mk := func(src cache.FeatureSource, prefetch int) []digest {
 				cfg := testConfig(t)
@@ -210,6 +217,82 @@ func TestKernelEquivalenceThroughPipeline(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPlanReplayBitwiseEqualLive pins the epoch-plan replay producer to
+// live sampling: a compiled plan driven through the pipeline must hand
+// the consumer bit-identical batches — same minibatch structure, same
+// gathered features, same epoch boundaries — at prefetch depths 0, 1
+// and 4. Run under -race (CI does) this also exercises concurrent
+// replay against the gather stage.
+func TestPlanReplayBitwiseEqualLive(t *testing.T) {
+	base := testConfig(t)
+	key := plan.KeyFor(dataset.OgbnArxiv, false, base.Sampler,
+		base.BatchSize, base.Seed, base.Epochs, base.Shuffle, base.Targets)
+	pl, err := plan.Compile(base.Graph, base.Sampler, key, base.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, refEnds := runDigests(t, base)
+	if len(ref) == 0 {
+		t.Fatal("no batches consumed")
+	}
+	for _, depth := range []int{0, 1, 4} {
+		cfg := testConfig(t)
+		cfg.Plan = pl
+		cfg.Prefetch = depth
+		got, gotEnds := runDigests(t, cfg)
+		if len(got) != len(ref) {
+			t.Fatalf("replay prefetch %d consumed %d batches, live %d", depth, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("replay prefetch %d batch %d differs:\nreplay: %+v\nlive:   %+v",
+					depth, i, got[i], ref[i])
+			}
+		}
+		if len(gotEnds) != len(refEnds) {
+			t.Fatalf("replay epoch-end calls: %v vs %v", gotEnds, refEnds)
+		}
+	}
+}
+
+// TestPlanValidation: incompatible plans and plan-driven coupled
+// samplers are rejected up front, not silently mis-replayed.
+func TestPlanValidation(t *testing.T) {
+	base := testConfig(t)
+	key := plan.KeyFor(dataset.OgbnArxiv, false, base.Sampler,
+		base.BatchSize, base.Seed, base.Epochs, base.Shuffle, base.Targets)
+	pl, err := plan.Compile(base.Graph, base.Sampler, key, base.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	cfg.Plan = pl
+	cfg.Seed = base.Seed + 1
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("plan with mismatched seed accepted")
+	}
+	cfg = testConfig(t)
+	cfg.Plan = pl
+	cfg.CoupledSampler = true
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("plan accepted for a coupled (cache-aware) sampler")
+	}
+	// A longer plan may replay a shorter run (epoch-prefix rule)...
+	cfg = testConfig(t)
+	cfg.Plan = pl
+	cfg.Epochs = base.Epochs - 1
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err != nil {
+		t.Errorf("epoch-prefix replay rejected: %v", err)
+	}
+	// ...but never the reverse.
+	cfg = testConfig(t)
+	cfg.Plan = pl
+	cfg.Epochs = base.Epochs + 1
+	if err := Run(cfg, func(*Batch) error { return nil }, nil); err == nil {
+		t.Error("plan shorter than the run accepted")
 	}
 }
 

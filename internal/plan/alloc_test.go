@@ -1,0 +1,36 @@
+//go:build !race
+
+package plan
+
+import (
+	"testing"
+
+	"gnnavigator/internal/sample"
+)
+
+// TestReplayIntoZeroAllocs is the replay-path allocation regression: in
+// steady state (mb's Blocks capacity warm) serving a batch from the plan
+// is pure slicing — zero allocations, zero sampler work. Guarded !race
+// because the race runtime adds bookkeeping allocations.
+func TestReplayIntoZeroAllocs(t *testing.T) {
+	g := testGraph(t)
+	targets := testTargets(500)
+	smp := func() *sample.NodeWise { return &sample.NodeWise{Fanouts: []int{6, 4}} }
+	key := KeyFor("test-ds", false, smp(), 128, 11, 2, true, targets)
+	pl, err := Compile(g, smp(), key, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &sample.MiniBatch{}
+	pl.ReplayInto(mb, 0, 0) // warm Blocks capacity
+	allocs := testing.AllocsPerRun(10, func() {
+		for e := 0; e < pl.Epochs(); e++ {
+			for i := 0; i < pl.BatchesPerEpoch(); i++ {
+				pl.ReplayInto(mb, e, i)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReplayInto allocates %.1f per full replay in steady state, want 0", allocs)
+	}
+}

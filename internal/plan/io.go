@@ -1,0 +1,210 @@
+package plan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary plan persistence: a fixed magic/version header, the key, the
+// shape, then the raw little-endian arrays. Plans are pure int32/int64
+// data, so the format is a straight dump — gnnavigator -save-plan /
+// -load-plan round-trips through it.
+
+var planMagic = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '1'}
+
+// SaveFile writes the plan to path (atomically via rename).
+func SaveFile(path string, p *Plan) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := writePlan(w, p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a plan previously written by SaveFile.
+func LoadFile(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := readPlan(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("plan: load %s: %w", path, err)
+	}
+	return p, nil
+}
+
+func writePlan(w io.Writer, p *Plan) error {
+	if _, err := w.Write(planMagic[:]); err != nil {
+		return err
+	}
+	if err := writeString(w, p.key.Dataset); err != nil {
+		return err
+	}
+	if err := writeString(w, p.key.Sampler); err != nil {
+		return err
+	}
+	scalars := []int64{
+		boolInt(p.key.Reorder), int64(p.key.BatchSize), p.key.Seed,
+		int64(p.key.Epochs), boolInt(p.key.Shuffle), int64(p.key.Targets),
+		int64(p.key.TargetsFP), int64(p.layers), int64(p.perEpoch),
+	}
+	if err := binary.Write(w, binary.LittleEndian, scalars); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{p.nodes, p.offsets, p.indices, p.blockDst} {
+		if err := writeInt32s(w, arr); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]int64{p.batchNode, p.blockOff, p.blockIdx} {
+		if err := writeInt64s(w, arr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPlan(r io.Reader) (*Plan, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != planMagic {
+		return nil, fmt.Errorf("bad magic %q (not a plan file or wrong version)", magic[:])
+	}
+	p := &Plan{}
+	var err error
+	if p.key.Dataset, err = readString(r); err != nil {
+		return nil, err
+	}
+	if p.key.Sampler, err = readString(r); err != nil {
+		return nil, err
+	}
+	scalars := make([]int64, 9)
+	if err := binary.Read(r, binary.LittleEndian, scalars); err != nil {
+		return nil, err
+	}
+	p.key.Reorder = scalars[0] != 0
+	p.key.BatchSize = int(scalars[1])
+	p.key.Seed = scalars[2]
+	p.key.Epochs = int(scalars[3])
+	p.key.Shuffle = scalars[4] != 0
+	p.key.Targets = int(scalars[5])
+	p.key.TargetsFP = uint64(scalars[6])
+	p.layers = int(scalars[7])
+	p.perEpoch = int(scalars[8])
+	if p.layers < 1 || p.perEpoch < 1 || p.key.Epochs < 1 {
+		return nil, fmt.Errorf("corrupt plan shape layers=%d perEpoch=%d epochs=%d", p.layers, p.perEpoch, p.key.Epochs)
+	}
+	for _, dst := range []*[]int32{&p.nodes, &p.offsets, &p.indices, &p.blockDst} {
+		if *dst, err = readInt32s(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range []*[]int64{&p.batchNode, &p.blockOff, &p.blockIdx} {
+		if *dst, err = readInt64s(r); err != nil {
+			return nil, err
+		}
+	}
+	nb := p.NumBatches()
+	if len(p.batchNode) != nb+1 || len(p.blockDst) != nb*p.layers ||
+		len(p.blockOff) != nb*p.layers || len(p.blockIdx) != nb*p.layers {
+		return nil, fmt.Errorf("corrupt plan extents")
+	}
+	return p, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("corrupt string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeInt32s(w io.Writer, arr []int32) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(arr))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, arr)
+}
+
+func readInt32s(r io.Reader) ([]int32, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<34 {
+		return nil, fmt.Errorf("corrupt array length %d", n)
+	}
+	arr := make([]int32, n)
+	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+		return nil, err
+	}
+	return arr, nil
+}
+
+func writeInt64s(w io.Writer, arr []int64) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(arr))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, arr)
+}
+
+func readInt64s(r io.Reader) ([]int64, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<34 {
+		return nil, fmt.Errorf("corrupt array length %d", n)
+	}
+	arr := make([]int64, n)
+	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+		return nil, err
+	}
+	return arr, nil
+}

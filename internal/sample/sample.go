@@ -633,6 +633,26 @@ func EpochBatches(rng *rand.Rand, train []int32, b0 int) [][]int32 {
 	return out
 }
 
+// EpochPlan returns epoch e's batch target lists for a (seed, targets,
+// batchSize) triple: shuffled through the per-epoch stream (EpochRNG)
+// when shuffle is set, chunked in the given order otherwise. It is the
+// single source of truth for batch structure — the live pipeline
+// producer and the plan compiler (internal/plan) both iterate it, which
+// is what makes a compiled plan bitwise-identical to live sampling.
+func EpochPlan(seed int64, epoch int, targets []int32, b0 int, shuffle bool) [][]int32 {
+	if shuffle {
+		return EpochBatches(EpochRNG(seed, epoch), targets, b0)
+	}
+	if b0 <= 0 {
+		b0 = len(targets)
+	}
+	var out [][]int32
+	for start := 0; start < len(targets); start += b0 {
+		out = append(out, targets[start:min(start+b0, len(targets))])
+	}
+	return out
+}
+
 // dedup is the one-shot map-based dedup, kept for tests and the frozen
 // map reference path (mapref.go); the samplers use dedupWith, which
 // reuses a frontier table and output buffer instead.
