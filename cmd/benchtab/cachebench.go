@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -45,14 +46,39 @@ type CacheBenchEntry struct {
 	AllocsPerOpSharded float64 `json:"allocs_per_op_sharded,omitempty"`
 }
 
+// CachePrecisionEntry is one row of the compact-feature-plane section:
+// the same LRU cache at the same capacity-in-rows driving the same
+// access stream, with rows stored and transferred at one precision.
+// Identical capacities mean identical miss sequences, so TransferRatio
+// is exactly the payload-width ratio (0.5 for float16, 0.25 for int8).
+// Before timing, the harness gates (a) cached gather ≡ host round trip
+// bitwise (hit/miss self-consistency) and (b) every gathered element
+// within the precision's documented error bound of the float32 value.
+type CachePrecisionEntry struct {
+	Precision     string `json:"precision"`
+	RowBytes      int64  `json:"row_bytes"`
+	TransferBytes int64  `json:"transfer_bytes"`
+	// TransferRatio is TransferBytes over the float32 baseline's.
+	TransferRatio float64 `json:"transfer_ratio"`
+	// CapacityRows is how many rows a fixed float32-denominated budget
+	// (ratio 0.2 of the feature array) holds at this precision.
+	CapacityRows int `json:"capacity_rows_at_fixed_budget"`
+	// WidenRowsPerSec is the fused quantize→dequantize→widen kernel's
+	// single-thread throughput.
+	WidenRowsPerSec float64 `json:"widen_rows_per_sec"`
+	// MaxAbsErr is the largest |gathered − float32| seen on the stream.
+	MaxAbsErr float64 `json:"max_abs_err"`
+}
+
 // CacheBenchReport is the whole BENCH_cache.json document.
 type CacheBenchReport struct {
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	NumCPU     int               `json:"num_cpu"`
-	Dataset    string            `json:"dataset"`
-	Shards     int               `json:"shards"`
-	Capacity   int               `json:"capacity"`
-	Entries    []CacheBenchEntry `json:"entries"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	Dataset    string                `json:"dataset"`
+	Shards     int                   `json:"shards"`
+	Capacity   int                   `json:"capacity"`
+	Entries    []CacheBenchEntry     `json:"entries"`
+	Precisions []CachePrecisionEntry `json:"precisions"`
 }
 
 const cacheBenchShards = 4
@@ -431,6 +457,11 @@ func runCacheBench(outPath string) error {
 		}
 	}
 
+	report.Precisions, err = runPrecisionBench(g, stream, capacity)
+	if err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -441,4 +472,141 @@ func runCacheBench(outPath string) error {
 	}
 	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
 	return nil
+}
+
+// checkPrecisionRow verifies one gathered row against its float32 host
+// row at the precision's documented error bound: exact for float32,
+// relative 2⁻¹¹ (absolute 2⁻²⁴ near zero) for float16, scale/2 per row
+// for int8. Saturated float16 values (|x| > 65504) are exempt — the
+// bound is the saturation distance, not a rounding error.
+func checkPrecisionRow(prec cache.Precision, got []float64, host []float32) error {
+	if len(host) == 0 {
+		return nil
+	}
+	switch prec {
+	case cache.Float16:
+		for j, f := range host {
+			x := math.Abs(float64(f))
+			if x > 65504 {
+				continue
+			}
+			tol := math.Max(x*0x1p-11, 0x1p-24)
+			if d := math.Abs(got[j] - float64(f)); d > tol {
+				return fmt.Errorf("col %d: |%v - %v| = %v > float16 tolerance %v", j, got[j], f, d, tol)
+			}
+		}
+	case cache.Int8:
+		lo, hi := host[0], host[0]
+		for _, f := range host[1:] {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		tol := float64(hi-lo)/510*(1+1e-6) + 1e-12
+		for j, f := range host {
+			if d := math.Abs(got[j] - float64(f)); d > tol {
+				return fmt.Errorf("col %d: |%v - %v| = %v > int8 tolerance %v", j, got[j], f, d, tol)
+			}
+		}
+	default:
+		for j, f := range host {
+			if got[j] != float64(f) {
+				return fmt.Errorf("col %d: float32 not bitwise: %v != %v", j, got[j], float64(f))
+			}
+		}
+	}
+	return nil
+}
+
+// transferGates are the acceptance ceilings on each precision's
+// transfer ratio vs the float32 baseline. With capacity held in rows,
+// miss sequences are identical, so the measured ratios are exactly the
+// payload-width ratios — comfortably under the gates even after the
+// int8 qparams ride the metadata channel.
+var transferGates = map[cache.Precision]float64{cache.Float16: 0.51, cache.Int8: 0.26}
+
+// runPrecisionBench drives the same LRU cache + access stream at every
+// precision: equality/tolerance gates first, then bytes-moved
+// accounting and the quantize/dequantize micro-bench.
+func runPrecisionBench(g *graph.Graph, stream [][]int32, capacity int) ([]CachePrecisionEntry, error) {
+	var out []CachePrecisionEntry
+	var baseline int64
+	var dst, ref *tensor.Dense
+	for _, prec := range cache.Precisions() {
+		c, err := cache.NewAtPrecision(cache.LRU, capacity, g, prec)
+		if err != nil {
+			return nil, err
+		}
+		src := cache.NewCachedSource(c, g)
+		// The frozen MapReference at the same policy/capacity sees the
+		// same hit/miss sequence but gathers every row through the host
+		// round trip: bitwise agreement proves rows served from quantized
+		// slot storage equal freshly quantized ones.
+		refK, err := cache.NewMapReference(cache.LRU, capacity, g)
+		if err != nil {
+			return nil, err
+		}
+		refSrc := cache.NewKernelSourceAt(refK, g, prec)
+		var xfer int64
+		var maxErr float64
+		for bi, batch := range stream {
+			var st cache.BatchStats
+			dst, st = src.GatherInto(dst, batch)
+			xfer += st.TransferBytes
+			ref, _ = refSrc.GatherInto(ref, batch)
+			for i, v := range batch {
+				row, rrow, host := dst.Row(i), ref.Row(i), g.Feature(v)
+				for j := range row {
+					if row[j] != rrow[j] {
+						return nil, fmt.Errorf("%s: batch %d vertex %d col %d: cached %v vs host round trip %v",
+							prec, bi, v, j, row[j], rrow[j])
+					}
+					if d := math.Abs(row[j] - float64(host[j])); d > maxErr {
+						maxErr = d
+					}
+				}
+				if err := checkPrecisionRow(prec, row, host); err != nil {
+					return nil, fmt.Errorf("%s: batch %d vertex %d: %w", prec, bi, v, err)
+				}
+			}
+		}
+		if prec == cache.Float32 {
+			baseline = xfer
+		}
+		ratio := float64(xfer) / float64(baseline)
+		if gate, ok := transferGates[prec]; ok && ratio > gate {
+			return nil, fmt.Errorf("%s: transfer ratio %.4f exceeds gate %.2f", prec, ratio, gate)
+		}
+
+		// Quantize/dequantize micro-bench: the fused widen kernel over
+		// every host row, single-threaded.
+		buf := make([]float64, g.FeatDim)
+		n := g.NumVertices()
+		rows := 0
+		start := time.Now()
+		for time.Since(start) < 200*time.Millisecond {
+			for v := 0; v < n; v++ {
+				prec.WidenRow(buf, g.Feature(int32(v)))
+			}
+			rows += n
+		}
+		rps := float64(rows) / time.Since(start).Seconds()
+
+		e := CachePrecisionEntry{
+			Precision:       string(prec),
+			RowBytes:        prec.RowBytes(g.FeatDim),
+			TransferBytes:   xfer,
+			TransferRatio:   ratio,
+			CapacityRows:    int(prec.EffectiveCacheRows(0.2, float64(g.NumVertices()), g.FeatDim)),
+			WidenRowsPerSec: rps,
+			MaxAbsErr:       maxErr,
+		}
+		out = append(out, e)
+		fmt.Printf("%-8s precision     row=%3dB  xfer %11d B (%.2fx)  cap@0.2 %6d rows  widen %9.0f rows/s  maxerr %.3g\n",
+			prec, e.RowBytes, e.TransferBytes, e.TransferRatio, e.CapacityRows, e.WidenRowsPerSec, e.MaxAbsErr)
+	}
+	return out, nil
 }

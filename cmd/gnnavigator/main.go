@@ -38,6 +38,7 @@ func main() {
 		minAcc    = flag.Float64("min-acc", 0, "minimum accuracy in [0,1] (0 = unconstrained)")
 		samples   = flag.Int("calib-samples", 14, "estimator calibration probes per dataset")
 		policies  = flag.String("policies", "", "comma-separated cache policies to explore (none,static,freq,fifo,lru,opt); empty = default space")
+		precision = flag.String("precision", "", "pin the feature storage precision (float32, float16, int8); empty = $GNNAV_PRECISION or explore all")
 		epochs    = flag.Int("epochs", 3, "training epochs")
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -52,6 +53,13 @@ func main() {
 	// the default, so wrapper scripts can pin a plan once for many runs.
 	if *loadPlan == "" {
 		*loadPlan = os.Getenv("GNNAV_PLAN")
+	}
+	if *precision == "" {
+		*precision = os.Getenv("GNNAV_PRECISION")
+	}
+	prec := cache.Precision(strings.TrimSpace(*precision))
+	if !prec.Valid() {
+		log.Fatalf("unknown precision %q; have %v", *precision, cache.Precisions())
 	}
 
 	if *procs > 0 {
@@ -96,6 +104,11 @@ func main() {
 			space.Policies = append(space.Policies, pol)
 		}
 	}
+	// A pinned precision collapses the explored precision dimension to it;
+	// otherwise the default space explores all three widths.
+	if prec != "" {
+		space.Precisions = []cache.Precision{prec}
+	}
 
 	fmt.Fprintf(os.Stderr, "calibrating estimator (leave-one-out over %v)...\n", otherDatasets(*dsName))
 	nav, err := core.New(core.Input{
@@ -109,6 +122,7 @@ func main() {
 			MinAccuracy: *minAcc,
 		},
 		Space:        space,
+		Precision:    prec,
 		CalibSamples: *samples,
 		Epochs:       *epochs,
 		Prefetch:     *prefetch,

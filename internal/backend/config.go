@@ -43,6 +43,11 @@ type Config struct {
 	// Cat. 2: transmission.
 	CacheRatio  float64 // r: fraction of |V| resident on device
 	CachePolicy cache.Policy
+	// Precision is the feature-plane storage width (float32 baseline
+	// when empty): it selects how cached rows are stored and how the
+	// host link prices transfers, and rescales the cache capacity a
+	// fixed Γ budget buys.
+	Precision cache.Precision
 
 	// Cat. 3: model design.
 	Model   model.Kind
@@ -94,6 +99,9 @@ func (c Config) Validate() error {
 	}
 	if !c.CachePolicy.Valid() {
 		return fmt.Errorf("backend: unknown cache policy %q", c.CachePolicy)
+	}
+	if !c.Precision.Valid() {
+		return fmt.Errorf("backend: unknown feature precision %q (have %v)", c.Precision, cache.Precisions())
 	}
 	if c.CacheRatio > 0 && c.CachePolicy == cache.None {
 		return fmt.Errorf("backend: cache ratio %v with policy none", c.CacheRatio)
@@ -197,8 +205,16 @@ func FromTemplate(tpl Template, ds string, kind model.Kind, platform string) (Co
 	return base, nil
 }
 
+// FeaturePrecision resolves the config's feature storage width, with
+// the zero value meaning the float32 baseline.
+func (c Config) FeaturePrecision() cache.Precision { return c.Precision.OrDefault() }
+
 // Label renders a short human-readable identifier for result tables.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s/%s b=%d f=%v r=%.2f/%s bias=%.1f",
+	l := fmt.Sprintf("%s/%s b=%d f=%v r=%.2f/%s bias=%.1f",
 		c.Sampler, c.Model, c.BatchSize, c.Fanouts, c.CacheRatio, c.CachePolicy, c.BiasRate)
+	if p := c.FeaturePrecision(); p != cache.Float32 {
+		l += "/" + string(p)
+	}
+	return l
 }

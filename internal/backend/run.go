@@ -144,11 +144,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	}
 	plat := hw.Profiles()[cfg.Platform]
 
-	// Device cache sized as a fraction of the scaled graph (the ratio is
+	// Device cache sized from the float32-denominated byte budget
+	// (CacheRatio of the scaled graph's feature array): at the float32
+	// baseline this is exactly ratio·|V| rows, at compact precisions the
+	// same Γ budget holds 2–4× the vertices (the ratio is
 	// scale-invariant; memory accounting uses the full-scale ratio).
 	// Every run gathers through one feature plane: the direct graph
 	// source when nothing is cached, the cached source otherwise.
-	capVertices := int(cfg.CacheRatio * float64(g.NumVertices()))
+	prec := cfg.FeaturePrecision()
+	capVertices := int(prec.EffectiveCacheRows(cfg.CacheRatio, float64(g.NumVertices()), g.FeatDim))
 	policy := cfg.CachePolicy
 	if capVertices == 0 {
 		policy = cache.None
@@ -186,7 +190,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	var src cache.FeatureSource
 	switch {
 	case policy == cache.None:
-		src = cache.NewGraphSource(g)
+		src = cache.NewGraphSourceAt(g, prec)
 	case policy == cache.Freq:
 		// Pre-sample admission, mined from a compiled plan: an unbiased
 		// instance of the run's own sampler compiles a salted one-epoch
@@ -205,7 +209,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		if err != nil {
 			return nil, err
 		}
-		devCache, err := cache.NewWithOrder(cache.Freq, capVertices, g, minePl.CountOrder(g))
+		devCache, err := cache.NewWithPrecision(cache.Freq, capVertices, g, minePl.CountOrder(g), prec)
 		if err != nil {
 			return nil, err
 		}
@@ -217,13 +221,13 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		if err != nil {
 			return nil, err
 		}
-		devCache, err := cache.NewOpt(capVertices, g, script)
+		devCache, err := cache.NewOptWithPrecision(capVertices, g, script, prec)
 		if err != nil {
 			return nil, err
 		}
 		src = cache.NewCachedSource(devCache, g)
 	default:
-		devCache, err := cache.New(policy, capVertices, g)
+		devCache, err := cache.NewAtPrecision(policy, capVertices, g, prec)
 		if err != nil {
 			return nil, err
 		}
@@ -327,6 +331,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			VertexScale:    effScale(mb.NumVertices),
 			FeatDim:        ds.FullFeatDim,
 			BytesPerScalar: 4,
+			Precision:      prec,
 		}
 		bt := sim.EstimateBatch(vols, plat, wl)
 		timings = append(timings, bt)
@@ -425,10 +430,11 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		VertexScale:    effScale(perf.PeakBatchSize),
 		FeatDim:        ds.FullFeatDim,
 		BytesPerScalar: 4,
+		Precision:      prec,
 	}
 	mem := sim.EstimateMemory(sim.MemoryVolumes{
 		ModelParams:       paramsAtFullScale(mdl, ds, cfg),
-		CacheVertices:     cfg.CacheRatio * float64(ds.FullVertices),
+		CacheVertices:     prec.EffectiveCacheRows(cfg.CacheRatio, float64(ds.FullVertices), ds.FullFeatDim),
 		PeakBatchVertices: perf.PeakBatchSize,
 		PeakBatchEdges:    perf.PeakBatchEdges,
 		HiddenDims:        hidden,

@@ -52,25 +52,30 @@ func TestGatherIntoZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	stream := accessStream(t, g, 16, 512, 19)
-	c, err := New(LRU, 400, g)
-	if err != nil {
-		t.Fatal(err)
-	}
 	// Parallelism 1 keeps the row-copy loop inline: the worker pool's
 	// dispatch bookkeeping (one signal channel per sharded call) is the
 	// pool's cost, not the gather path's, and would drown the regression
 	// this test guards — that the sources themselves reuse every buffer.
+	// The fused dequant kernels must hold the bound at every precision:
+	// quantization happens in place on admission and widening reuses the
+	// pre-bound kernel, so compact storage adds no per-batch allocations.
 	defer tensor.WithParallelism(1)()
-	for _, src := range []FeatureSource{NewCachedSource(c, g), NewGraphSource(g)} {
-		feats := sizeFor(nil, 512, g.FeatDim)
-		drive := func() {
-			for _, batch := range stream {
-				feats, _ = src.GatherInto(feats, batch)
-			}
+	for _, prec := range Precisions() {
+		c, err := NewAtPrecision(LRU, 400, g, prec)
+		if err != nil {
+			t.Fatal(err)
 		}
-		drive() // warm up scratch
-		if allocs := testing.AllocsPerRun(10, drive); allocs != 0 {
-			t.Errorf("%T: GatherInto allocates %.1f/op in steady state", src, allocs)
+		for _, src := range []FeatureSource{NewCachedSource(c, g), NewGraphSourceAt(g, prec)} {
+			feats := sizeFor(nil, 512, g.FeatDim)
+			drive := func() {
+				for _, batch := range stream {
+					feats, _ = src.GatherInto(feats, batch)
+				}
+			}
+			drive() // warm up scratch
+			if allocs := testing.AllocsPerRun(10, drive); allocs != 0 {
+				t.Errorf("%s/%T: GatherInto allocates %.1f/op in steady state", prec, src, allocs)
+			}
 		}
 	}
 }

@@ -143,10 +143,17 @@ type Cache struct {
 	static    []uint64
 	staticLen int
 
-	// rows holds the resident feature rows in slot order (capacity ×
-	// featDim float32), nil when the cache was built without features;
-	// g is the host-side feature store admissions copy from.
+	// Resident feature rows in slot order, quantized at the cache's
+	// precision (exactly one of rows/rows16/rows8 is non-nil when the
+	// cache owns rows; all are nil when built without features). g is
+	// the host-side feature store admissions quantize from; qscale and
+	// qzero are the per-slot int8 quantization parameters.
+	prec    Precision
 	rows    []float32
+	rows16  []uint16
+	rows8   []uint8
+	qscale  []float32
+	qzero   []float32
 	featDim int
 	g       *graph.Graph
 
@@ -206,11 +213,19 @@ func requireAdmissionOrder(policy Policy, order []int32) error {
 // nil for None/FIFO/LRU, in which case the cache tracks residency only
 // (no feature rows) and grows its slot table lazily.
 func New(policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
-	order, err := defaultAdmissionOrder(policy, g, "NewWithOrder")
+	return NewAtPrecision(policy, capacity, g, Float32)
+}
+
+// NewAtPrecision is New with an explicit feature-row storage precision:
+// admitted rows are quantized once into slot storage and dequantized on
+// the gather path. Float32 (and the zero value "") is the verbatim
+// baseline.
+func NewAtPrecision(policy Policy, capacity int, g *graph.Graph, prec Precision) (*Cache, error) {
+	order, err := defaultAdmissionOrder(policy, g, "NewWithPrecision")
 	if err != nil {
 		return nil, err
 	}
-	return NewWithOrder(policy, capacity, g, order)
+	return NewWithPrecision(policy, capacity, g, order, prec)
 }
 
 // NewWithOrder builds a cache whose prefilled residency (Static/Freq)
@@ -220,8 +235,21 @@ func New(policy Policy, capacity int, g *graph.Graph) (*Cache, error) {
 // pre-samples the run's own batch plan, counts vertex accesses, and
 // passes the frequency-descending order here.
 func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*Cache, error) {
+	return NewWithPrecision(policy, capacity, g, order, Float32)
+}
+
+// NewWithPrecision is NewWithOrder with an explicit feature-row storage
+// precision (see Precision): admissions quantize the host row once into
+// slot storage, and the gather path dequantizes on read. A row served
+// from slot storage is bitwise-identical to the same row freshly
+// round-tripped from the host, so hit/miss routing never changes
+// gathered values at any precision.
+func NewWithPrecision(policy Policy, capacity int, g *graph.Graph, order []int32, prec Precision) (*Cache, error) {
 	if !policy.Valid() {
 		return nil, fmt.Errorf("cache: unknown policy %q", policy)
+	}
+	if !prec.Valid() {
+		return nil, fmt.Errorf("cache: unknown precision %q", prec)
 	}
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
@@ -229,13 +257,13 @@ func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*
 	if err := requireAdmissionOrder(policy, order); err != nil {
 		return nil, err
 	}
-	c := &Cache{policy: policy, capacity: capacity, head: -1, tail: -1}
+	c := &Cache{policy: policy, capacity: capacity, head: -1, tail: -1, prec: prec.OrDefault()}
 	if g != nil {
 		c.growSlots(int32(g.NumVertices() - 1))
 		if g.Features != nil && capacity > 0 && policy != None {
 			c.featDim = g.FeatDim
 			c.g = g
-			c.rows = make([]float32, min(capacity, g.NumVertices())*g.FeatDim)
+			c.allocRows(min(capacity, g.NumVertices()))
 		}
 	} else {
 		empty := []int32{}
@@ -262,8 +290,8 @@ func NewWithOrder(policy Policy, capacity int, g *graph.Graph, order []int32) (*
 			c.static[v>>6] |= 1 << (uint(v) & 63)
 			slots[v] = int32(i)
 			c.vertexOf[i] = v
-			if c.rows != nil && g != nil {
-				copy(c.rows[i*c.featDim:(i+1)*c.featDim], g.Feature(v))
+			if c.ownsRows() {
+				c.storeRow(int32(i), g.Feature(v))
 			}
 		}
 		c.staticLen = n
@@ -307,6 +335,79 @@ func (c *Cache) slotOf(v int32) int32 {
 // Policy returns the cache's policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
+// Precision returns the cache's feature-row storage precision.
+func (c *Cache) Precision() Precision { return c.prec.OrDefault() }
+
+// ownsRows reports whether the cache holds feature rows (it was built
+// over a graph with features and a nonzero capacity).
+func (c *Cache) ownsRows() bool { return c.rows != nil || c.rows16 != nil || c.rows8 != nil }
+
+// allocRows allocates slot-order row storage for up to n rows at the
+// cache's precision.
+func (c *Cache) allocRows(n int) {
+	switch c.prec.OrDefault() {
+	case Float16:
+		c.rows16 = make([]uint16, n*c.featDim)
+	case Int8:
+		c.rows8 = make([]uint8, n*c.featDim)
+		c.qscale = make([]float32, n)
+		c.qzero = make([]float32, n)
+	default:
+		c.rows = make([]float32, n*c.featDim)
+	}
+}
+
+// storeRow quantizes one host feature row into slot s — the admission
+// copy, and the only place quantization happens for cached rows. The
+// code/parameter computation is shared with the fused host round trip
+// (Precision.WidenRow), so a later hit served from this slot is
+// bitwise-identical to the miss-path value.
+func (c *Cache) storeRow(s int32, src []float32) {
+	lo := int(s) * c.featDim
+	switch {
+	case c.rows != nil:
+		copy(c.rows[lo:lo+c.featDim], src)
+	case c.rows16 != nil:
+		for j, f := range src {
+			c.rows16[lo+j] = f32ToF16(f)
+		}
+	case c.rows8 != nil:
+		scale, zero := int8RowParams(src)
+		c.qscale[s], c.qzero[s] = scale, zero
+		int8QuantizeRow(c.rows8[lo:lo+c.featDim], src, scale, zero)
+	}
+}
+
+// rowInto dequantizes v's resident row from device slot storage into
+// dst (widened to float64), reporting whether it was served. Same
+// slot-reuse hazard guard and single-stage contract as RowOf.
+func (c *Cache) rowInto(dst []float64, v int32) bool {
+	if !c.ownsRows() {
+		return false
+	}
+	s := c.slotOf(v)
+	if s < 0 || c.vertexOf[s] != v {
+		return false
+	}
+	lo := int(s) * c.featDim
+	switch {
+	case c.rows != nil:
+		for j, f := range c.rows[lo : lo+c.featDim] {
+			dst[j] = float64(f)
+		}
+	case c.rows16 != nil:
+		for j, h := range c.rows16[lo : lo+c.featDim] {
+			dst[j] = float64(f16ToF32(h))
+		}
+	default:
+		scale, zero := float64(c.qscale[s]), float64(c.qzero[s])
+		for j, q := range c.rows8[lo : lo+c.featDim] {
+			dst[j] = zero + scale*float64(q)
+		}
+	}
+	return true
+}
+
 // Capacity returns the capacity in vertices.
 func (c *Cache) Capacity() int { return c.capacity }
 
@@ -339,11 +440,13 @@ func (c *Cache) staticBit(v int32) bool {
 }
 
 // RowOf returns the resident feature row of v from device-side slot
-// storage, or nil when v is absent or the cache owns no rows. The
-// vertexOf check guards the one hazard of slot reuse: a slot admitted
-// for v earlier in the batch may have been evicted and refilled for a
-// different vertex by a later admission. Single-stage use only (the
-// gather path); not safe concurrently with Update.
+// storage, or nil when v is absent or the cache owns no float32 rows
+// (compact precisions store quantized rows; use the gather path, which
+// dequantizes via rowInto). The vertexOf check guards the one hazard of
+// slot reuse: a slot admitted for v earlier in the batch may have been
+// evicted and refilled for a different vertex by a later admission.
+// Single-stage use only (the gather path); not safe concurrently with
+// Update.
 func (c *Cache) RowOf(v int32) []float32 {
 	if c.rows == nil {
 		return nil
@@ -473,10 +576,10 @@ func (c *Cache) Update(miss []int32) int {
 		}
 		atomic.StoreInt32(&arr[v], s)
 		c.vertexOf[s] = v
-		if c.rows != nil {
-			// The admission is the transfer: the row lands in device
-			// slot storage, where later hits read it back.
-			copy(c.rows[int(s)*c.featDim:(int(s)+1)*c.featDim], c.g.Feature(v))
+		if c.ownsRows() {
+			// The admission is the transfer: the row lands (quantized) in
+			// device slot storage, where later hits read it back.
+			c.storeRow(s, c.g.Feature(v))
 		}
 		c.pushBack(s)
 		ops++

@@ -81,13 +81,22 @@ func BuildOptScript(numVertices int, stream iter.Seq[[]int32]) (*OptScript, erro
 // be nil to track residency only (no feature rows), as with the other
 // constructors.
 func NewOpt(capacity int, g *graph.Graph, script *OptScript) (*Cache, error) {
+	return NewOptWithPrecision(capacity, g, script, Float32)
+}
+
+// NewOptWithPrecision is NewOpt with slot storage held at the given
+// feature precision.
+func NewOptWithPrecision(capacity int, g *graph.Graph, script *OptScript, prec Precision) (*Cache, error) {
 	if script == nil {
 		return nil, fmt.Errorf("cache: opt policy needs a compiled plan script; use BuildOptScript")
 	}
 	if capacity < 0 {
 		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
 	}
-	c := &Cache{policy: Opt, capacity: capacity, head: -1, tail: -1}
+	if !prec.Valid() {
+		return nil, fmt.Errorf("cache: unknown precision %q", prec)
+	}
+	c := &Cache{policy: Opt, capacity: capacity, head: -1, tail: -1, prec: prec.OrDefault()}
 	maxV := int32(script.n) - 1
 	if g != nil && int32(g.NumVertices())-1 > maxV {
 		maxV = int32(g.NumVertices()) - 1
@@ -101,7 +110,7 @@ func NewOpt(capacity int, g *graph.Graph, script *OptScript) (*Cache, error) {
 	if g != nil && g.Features != nil && capacity > 0 {
 		c.featDim = g.FeatDim
 		c.g = g
-		c.rows = make([]float32, min(capacity, g.NumVertices())*g.FeatDim)
+		c.allocRows(min(capacity, g.NumVertices()))
 	}
 	c.script = script
 	c.cursor = make([]int32, script.n)
@@ -143,8 +152,8 @@ func (c *Cache) prefillOpt() {
 		c.vertexOf[s] = v
 		c.nextUse[s] = sc.occPos[sc.occOff[v]]
 		c.heapPush(s)
-		if c.rows != nil {
-			copy(c.rows[i*c.featDim:(i+1)*c.featDim], c.g.Feature(v))
+		if c.ownsRows() {
+			c.storeRow(s, c.g.Feature(v))
 		}
 	}
 	c.size.Store(int32(n))
@@ -236,8 +245,8 @@ func (c *Cache) optUpdate(miss []int32) int {
 			c.heapPush(s)
 		}
 		atomic.StoreInt32(&arr[v], s)
-		if c.rows != nil {
-			copy(c.rows[int(s)*c.featDim:(int(s)+1)*c.featDim], c.g.Feature(v))
+		if c.ownsRows() {
+			c.storeRow(s, c.g.Feature(v))
 		}
 		ops++
 	}

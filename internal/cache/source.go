@@ -57,16 +57,15 @@ type FeatureSource interface {
 // GatherRowsInto copies the raw float32 features of nodes from g into a
 // float64 matrix (row i ↔ nodes[i]), reusing dst's storage when its
 // capacity suffices. The copy is sharded over rows on the tensor worker
-// pool. This is the feature plane's host-side gather kernel;
-// model.GatherFeaturesInto delegates here.
+// pool and routed through the Float32 widen kernel — the same kernel
+// family the precision-aware sources dispatch. This is the feature
+// plane's host-side gather kernel; model.GatherFeaturesInto delegates
+// here.
 func GatherRowsInto(dst *tensor.Dense, g *graph.Graph, nodes []int32) *tensor.Dense {
 	dst = sizeFor(dst, len(nodes), g.FeatDim)
 	tensor.ParallelRows(len(nodes), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := dst.Row(i)
-			for j, f := range g.Feature(nodes[i]) {
-				row[j] = float64(f)
-			}
+			widenFloat32(dst.Row(i), g.Feature(nodes[i]))
 		}
 	})
 	return dst
@@ -85,10 +84,17 @@ func sizeFor(dst *tensor.Dense, rows, cols int) *tensor.Dense {
 }
 
 // NewGraphSource returns the direct (uncached) source: every requested
-// row crosses the host-device link. This is the None-policy feature
-// plane (PyG's template).
+// row crosses the host-device link at float32. This is the None-policy
+// feature plane (PyG's template).
 func NewGraphSource(g *graph.Graph) FeatureSource {
-	s := &graphSource{g: g, rowBytes: int64(g.FeatDim) * 4}
+	return NewGraphSourceAt(g, Float32)
+}
+
+// NewGraphSourceAt is NewGraphSource with rows quantized to prec for
+// the transfer (fused into the gather's widen kernel) and priced at the
+// precision's row bytes.
+func NewGraphSourceAt(g *graph.Graph, prec Precision) FeatureSource {
+	s := &graphSource{g: g, rowBytes: prec.RowBytes(g.FeatDim), widen: prec.widen()}
 	// Bound once so per-batch gathers dispatch a pre-allocated closure
 	// (a fresh closure per call would cost one allocation per batch).
 	s.copyFn = s.copyRange
@@ -98,6 +104,7 @@ func NewGraphSource(g *graph.Graph) FeatureSource {
 type graphSource struct {
 	g        *graph.Graph
 	rowBytes int64
+	widen    widenFunc
 	bytes    int64
 
 	// transient per-call state for the pre-bound sharded copy loop
@@ -108,10 +115,7 @@ type graphSource struct {
 
 func (s *graphSource) copyRange(lo, hi int) {
 	for i := lo; i < hi; i++ {
-		row := s.dst.Row(i)
-		for j, f := range s.g.Feature(s.nodes[i]) {
-			row[j] = float64(f)
-		}
+		s.widen(s.dst.Row(i), s.g.Feature(s.nodes[i]))
 	}
 }
 
@@ -135,22 +139,35 @@ func (s *graphSource) HitRate() float64        { return 0 }
 func (s *graphSource) TransferredBytes() int64 { return s.bytes }
 
 // NewCachedSource returns the cached feature plane over the array-backed
-// Cache: hits are served from the cache's own slot storage (RowOf),
-// misses transfer from the host and — policy permitting — land in the
-// cache on admission.
+// Cache: hits are served (dequantized) from the cache's own slot
+// storage, misses transfer from the host at the cache's precision and —
+// policy permitting — land quantized in the cache on admission. The
+// source inherits the cache's precision, so the two planes can never
+// disagree on row width.
 func NewCachedSource(c *Cache, g *graph.Graph) FeatureSource {
-	s := &kernelSource{k: c, c: c, g: g, rowBytes: int64(g.FeatDim) * 4}
+	prec := c.Precision()
+	s := &kernelSource{k: c, c: c, g: g, rowBytes: prec.RowBytes(g.FeatDim), widen: prec.widen()}
 	s.copyFn = s.copyRange
 	return s
 }
 
 // NewKernelSource returns a feature plane over any cache Kernel (in
 // particular the frozen MapReference), with rows always gathered from
-// the host array. Feature output is identical to the cached source —
-// cached rows are verbatim copies — so the equivalence tests can swap
-// kernels under an unchanged pipeline.
+// the host array at float32. Feature output is identical to the cached
+// source — cached rows are verbatim copies — so the equivalence tests
+// can swap kernels under an unchanged pipeline.
 func NewKernelSource(k Kernel, g *graph.Graph) FeatureSource {
-	s := &kernelSource{k: k, g: g, rowBytes: int64(g.FeatDim) * 4}
+	return NewKernelSourceAt(k, g, Float32)
+}
+
+// NewKernelSourceAt is NewKernelSource at a given precision: every row
+// takes the host round trip through the precision's fused
+// quantize→dequantize kernel. Because cached rows are quantized with
+// the same kernel on admission, output stays identical to a cached
+// source at the same precision — the tolerance-tier analogue of the
+// float32 equivalence contract.
+func NewKernelSourceAt(k Kernel, g *graph.Graph, prec Precision) FeatureSource {
+	s := &kernelSource{k: k, g: g, rowBytes: prec.RowBytes(g.FeatDim), widen: prec.widen()}
 	s.copyFn = s.copyRange
 	return s
 }
@@ -160,6 +177,7 @@ type kernelSource struct {
 	c        *Cache // non-nil when hits may be served from slot storage
 	g        *graph.Graph
 	rowBytes int64
+	widen    widenFunc
 	bytes    int64
 
 	missBuf []int32 // lookup scratch, reused across batches
@@ -170,23 +188,19 @@ type kernelSource struct {
 	copyFn func(lo, hi int)
 }
 
-// copyRange fills dst rows [lo, hi): hits from device slot storage,
-// everything else from the host feature array. Cached rows are verbatim
-// copies, so the output cannot depend on the branch taken; the loop only
-// reads cache state, so sharding it across the worker pool is safe.
+// copyRange fills dst rows [lo, hi): hits dequantized from device slot
+// storage, everything else from the host feature array through the
+// precision's fused widen kernel. Slot rows were quantized by the same
+// kernel on admission, so the output cannot depend on the branch taken;
+// the loop only reads cache state, so sharding it across the worker
+// pool is safe.
 func (s *kernelSource) copyRange(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := s.dst.Row(i)
-		src := []float32(nil)
-		if s.c != nil {
-			src = s.c.RowOf(s.nodes[i])
+		if s.c != nil && s.c.rowInto(row, s.nodes[i]) {
+			continue
 		}
-		if src == nil {
-			src = s.g.Feature(s.nodes[i])
-		}
-		for j, f := range src {
-			row[j] = float64(f)
-		}
+		s.widen(row, s.g.Feature(s.nodes[i]))
 	}
 }
 

@@ -35,6 +35,12 @@ type Input struct {
 	// Space overrides the explored design space (zero value = DefaultSpace).
 	Space dse.Space
 
+	// Precision pins the feature-plane storage width of the base config
+	// (and, unless Space.Precisions overrides it, of every explored
+	// candidate). Empty = the float32 baseline. The gnnavigator
+	// -precision flag and GNNAV_PRECISION env map onto this.
+	Precision cache.Precision
+
 	// CalibDatasets are profiled to train the estimator. Default: every
 	// built-in dataset except the target (the paper's leave-one-out rule,
 	// §4.1: "established upon the performance across all the datasets
@@ -189,6 +195,7 @@ func New(in Input) (*Navigator, error) {
 		BatchSize:   1024,
 		Fanouts:     defaultFanouts(in.Layers),
 		CachePolicy: cache.None,
+		Precision:   in.Precision,
 	}
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("core: base config: %w", err)

@@ -30,8 +30,13 @@ type Space struct {
 	WalkLengths []int
 	CacheRatios []float64
 	Policies    []cache.Policy
-	BiasRates   []float64
-	Hiddens     []int
+	// Precisions varies the feature-plane storage width (Cat. 2's second
+	// transmission knob): compact precisions shrink Eq. 6's transfer
+	// payload and stretch a fixed Γ_cache budget over more rows, at a
+	// quantization accuracy cost the estimator measures.
+	Precisions []cache.Precision
+	BiasRates  []float64
+	Hiddens    []int
 	// LayerCounts varies model depth (Fig. 3's "Model Layers" knob). For
 	// hop-list samplers only fanout sets whose length matches the depth
 	// are admitted.
@@ -51,9 +56,10 @@ func DefaultSpace() Space {
 		// Opt last: the offline-optimal upper bound. Config.Validate
 		// rejects Opt with cache-aware bias, so forEachLeaf's Validate
 		// filter prunes those combos automatically.
-		Policies:  []cache.Policy{cache.Static, cache.Freq, cache.FIFO, cache.LRU, cache.Opt},
-		BiasRates: []float64{0, 0.9},
-		Hiddens:   []int{32, 64},
+		Policies:   []cache.Policy{cache.Static, cache.Freq, cache.FIFO, cache.LRU, cache.Opt},
+		Precisions: cache.Precisions(),
+		BiasRates:  []float64{0, 0.9},
+		Hiddens:    []int{32, 64},
 	}
 }
 
@@ -66,8 +72,8 @@ func (s Space) IsZero() bool {
 	return len(s.Samplers) == 0 && len(s.BatchSizes) == 0 &&
 		len(s.FanoutSets) == 0 && len(s.WalkLengths) == 0 &&
 		len(s.CacheRatios) == 0 && len(s.Policies) == 0 &&
-		len(s.BiasRates) == 0 && len(s.Hiddens) == 0 &&
-		len(s.LayerCounts) == 0
+		len(s.Precisions) == 0 && len(s.BiasRates) == 0 &&
+		len(s.Hiddens) == 0 && len(s.LayerCounts) == 0
 }
 
 // Size returns an upper bound on the number of leaf configurations.
@@ -83,6 +89,7 @@ func (s Space) Size() int {
 	mul(len(s.FanoutSets) + len(s.WalkLengths))
 	mul(len(s.CacheRatios))
 	mul(len(s.Policies))
+	mul(len(s.Precisions))
 	mul(len(s.BiasRates))
 	mul(len(s.Hiddens))
 	mul(len(s.LayerCounts))
@@ -205,12 +212,15 @@ func (e *Explorer) workerCount() int {
 }
 
 // forEachLeaf enumerates, in DFS order, every admissible leaf
-// configuration of the subtree under one cache ratio: the inner-loop
-// admission rules (fanout/depth match for hop-list samplers, collapsing
-// duplicate no-cache policy×bias combos, node-wise-only cache bias, and
-// Config.Validate) all live here, so leaf evaluation and prune
-// accounting count exactly the same set of configurations.
-func (s Space) forEachLeaf(base backend.Config, ratio float64, yield func(backend.Config)) {
+// configuration of the subtree under one (cache ratio, precision) pair:
+// the inner-loop admission rules (fanout/depth match for hop-list
+// samplers, collapsing duplicate no-cache policy×bias combos,
+// node-wise-only cache bias, and Config.Validate) all live here, so
+// leaf evaluation and prune accounting count exactly the same set of
+// configurations. Precision is not collapsed at ratio 0: an uncached
+// run still transfers (and quantizes) every row, so the precisions
+// remain distinct designs.
+func (s Space) forEachLeaf(base backend.Config, ratio float64, prec cache.Precision, yield func(backend.Config)) {
 	for _, smp := range s.Samplers {
 		for _, b0 := range s.BatchSizes {
 			shapes := len(s.FanoutSets)
@@ -226,6 +236,7 @@ func (s Space) forEachLeaf(base backend.Config, ratio float64, yield func(backen
 								cfg.Sampler = smp
 								cfg.BatchSize = b0
 								cfg.CacheRatio = ratio
+								cfg.Precision = prec
 								cfg.Hidden = hidden
 								cfg.Layers = layers
 								if smp == backend.SamplerSAINT {
@@ -265,13 +276,13 @@ func (s Space) forEachLeaf(base backend.Config, ratio float64, yield func(backen
 }
 
 // countLeaves reports exactly how many leaves forEachLeaf would yield
-// under one cache ratio — the number of estimator queries pruning the
-// subtree saves. Counting through the shared enumerator (instead of
-// multiplying dimension sizes) keeps Evaluated + Pruned invariant
-// against the pruning-disabled total.
-func (s Space) countLeaves(base backend.Config, ratio float64) int {
+// under one (cache ratio, precision) pair — the number of estimator
+// queries pruning the subtree saves. Counting through the shared
+// enumerator (instead of multiplying dimension sizes) keeps Evaluated +
+// Pruned invariant against the pruning-disabled total.
+func (s Space) countLeaves(base backend.Config, ratio float64, prec cache.Precision) int {
 	n := 0
-	s.forEachLeaf(base, ratio, func(backend.Config) { n++ })
+	s.forEachLeaf(base, ratio, prec, func(backend.Config) { n++ })
 	return n
 }
 
@@ -303,23 +314,29 @@ func (e *Explorer) Explore(base backend.Config) (*Result, error) {
 
 	var leaves []backend.Config
 	for _, ratio := range s.CacheRatios {
-		// Constraint pruning: Γ_cache alone is a lower bound on Γ for the
-		// whole subtree under this cache ratio (Eq. 9 is a sum of
-		// non-negative parts). If it already violates the memory budget or
-		// the device capacity, the subtree cannot contain a satisfying
-		// candidate.
-		if !e.DisablePruning {
-			cacheBytes := ratio * float64(ds.FullVertices) * float64(ds.FullFeatDim) * 4
-			overBudget := e.Constraints.MaxMemoryGB > 0 && cacheBytes/1e9 > e.Constraints.MaxMemoryGB
-			overDevice := cacheBytes > plat.Device.MemCapacityBytes
-			if overBudget || overDevice {
-				res.Pruned += s.countLeaves(base, ratio)
-				continue
+		for _, prec := range s.Precisions {
+			// Constraint pruning: Γ_cache alone is a lower bound on Γ for
+			// the whole subtree under this (cache ratio, precision) pair
+			// (Eq. 9 is a sum of non-negative parts). The bound is
+			// precision-aware: the rows a float32-denominated budget buys
+			// at this precision, each at its storage row bytes — so a
+			// compact precision can keep a subtree a float32 budget would
+			// cut. If it already violates the memory budget or the device
+			// capacity, the subtree cannot contain a satisfying candidate.
+			if !e.DisablePruning {
+				rows := prec.EffectiveCacheRows(ratio, float64(ds.FullVertices), ds.FullFeatDim)
+				cacheBytes := rows * float64(prec.StorageRowBytes(ds.FullFeatDim))
+				overBudget := e.Constraints.MaxMemoryGB > 0 && cacheBytes/1e9 > e.Constraints.MaxMemoryGB
+				overDevice := cacheBytes > plat.Device.MemCapacityBytes
+				if overBudget || overDevice {
+					res.Pruned += s.countLeaves(base, ratio, prec)
+					continue
+				}
 			}
+			s.forEachLeaf(base, ratio, prec, func(cfg backend.Config) {
+				leaves = append(leaves, cfg)
+			})
 		}
-		s.forEachLeaf(base, ratio, func(cfg backend.Config) {
-			leaves = append(leaves, cfg)
-		})
 	}
 
 	preds := make([]estimator.Prediction, len(leaves))
@@ -375,6 +392,9 @@ func (e *Explorer) normalizedSpace(base backend.Config) Space {
 			pol = cache.Static
 		}
 		s.Policies = []cache.Policy{pol}
+	}
+	if len(s.Precisions) == 0 {
+		s.Precisions = []cache.Precision{base.FeaturePrecision()}
 	}
 	if len(s.BiasRates) == 0 {
 		s.BiasRates = []float64{base.BiasRate}

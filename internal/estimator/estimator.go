@@ -334,6 +334,16 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 				cfg.CachePolicy = cache.LRU
 			}
 		}
+		// Precision is drawn independently of the cache dimensions (it
+		// matters at ratio 0 too: the uncached transfer payload and the
+		// quantization accuracy cost remain), float32-biased so the
+		// baseline stays well represented.
+		switch rng.Intn(3) {
+		case 1:
+			cfg.Precision = cache.Float16
+		case 2:
+			cfg.Precision = cache.Int8
+		}
 		if cfg.Validate() != nil {
 			continue
 		}
@@ -403,6 +413,10 @@ func features(cfg backend.Config, st GraphStats) []float64 {
 		st.Classes / 10,
 		st.ProbeAcc,
 		math.Log(b0) - st.LogVertices, // batch/graph size ratio
+		// Feature-plane storage width relative to float32 (1, 0.5, 0.25):
+		// the accuracy regressor reads the quantization cost off it, the
+		// time/memory residuals the payload shrinkage.
+		float64(cfg.FeaturePrecision().BytesPerScalar()) / 4,
 	}
 }
 
@@ -685,7 +699,8 @@ func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	wl := sim.Workload{VertexScale: scale, FeatDim: ds.FullFeatDim, BytesPerScalar: 4}
+	wl := sim.Workload{VertexScale: scale, FeatDim: ds.FullFeatDim, BytesPerScalar: 4,
+		Precision: cfg.FeaturePrecision()}
 	walkSteps := 0
 	if cfg.Sampler == backend.SamplerSAINT {
 		walkSteps = cfg.WalkLength * cfg.BatchSize
@@ -718,7 +733,7 @@ func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 	}
 	mem := sim.EstimateMemory(sim.MemoryVolumes{
 		ModelParams:       analyticParams(cfg, ds),
-		CacheVertices:     cfg.CacheRatio * float64(ds.FullVertices),
+		CacheVertices:     cfg.FeaturePrecision().EffectiveCacheRows(cfg.CacheRatio, float64(ds.FullVertices), ds.FullFeatDim),
 		PeakBatchVertices: int(peak),
 		PeakBatchEdges:    int(edges * math.Max(e.peakRatio.Predict(f), 1)),
 		HiddenDims:        hidden,

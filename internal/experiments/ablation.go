@@ -71,6 +71,7 @@ func RunAblationPruning(w io.Writer, f Fidelity) (*AblationPruning, error) {
 // AblationCacheRow is one cache policy's performance at a fixed ratio.
 type AblationCacheRow struct {
 	Policy     cache.Policy
+	Precision  cache.Precision
 	HitRate    float64
 	EpochSec   float64
 	MemoryGB   float64
@@ -83,28 +84,46 @@ type AblationCacheRow struct {
 // the plan-mined offline-optimal (Belady) upper bound.
 func RunAblationCachePolicy(w io.Writer, f Fidelity) ([]AblationCacheRow, error) {
 	fmt.Fprintln(w, "# Ablation: cache policy at fixed ratio 0.3 (Reddit2+SAGE; opt = offline upper bound)")
-	fmt.Fprintf(w, "%-8s %8s %10s %10s %10s\n", "policy", "hit", "epoch(s)", "Γ(GB)", "xfer(MB)")
+	fmt.Fprintf(w, "%-8s %-9s %8s %10s %10s %10s\n", "policy", "precision", "hit", "epoch(s)", "Γ(GB)", "xfer(MB)")
 	var out []AblationCacheRow
-	for _, pol := range cache.Policies() {
+	run := func(pol cache.Policy, prec cache.Precision) error {
 		cfg, err := backend.FromTemplate(backend.TemplatePyG, dataset.Reddit2, model.SAGE, platform)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.Epochs = 2
+		cfg.Precision = prec
 		if pol != cache.None {
 			cfg.CacheRatio = 0.3
 			cfg.CachePolicy = pol
 		}
 		perf, err := backend.RunWith(cfg, backend.Options{SkipTraining: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationCacheRow{
-			Policy: pol, HitRate: perf.HitRate, EpochSec: perf.TimeSec,
+			Policy: pol, Precision: cfg.FeaturePrecision(),
+			HitRate: perf.HitRate, EpochSec: perf.TimeSec,
 			MemoryGB: perf.MemoryGB, TransferMB: float64(perf.TransferredBytes) / 1e6,
 		}
 		out = append(out, row)
-		fmt.Fprintf(w, "%-8s %8.3f %10.3f %10.2f %10.1f\n", pol, row.HitRate, row.EpochSec, row.MemoryGB, row.TransferMB)
+		fmt.Fprintf(w, "%-8s %-9s %8.3f %10.3f %10.2f %10.1f\n",
+			row.Policy, row.Precision, row.HitRate, row.EpochSec, row.MemoryGB, row.TransferMB)
+		return nil
+	}
+	for _, pol := range cache.Policies() {
+		if err := run(pol, cache.Float32); err != nil {
+			return nil, err
+		}
+	}
+	// The precision knob at a fixed policy: same Static cache budget, rows
+	// stored and transferred at each width. Compact rows raise the hit
+	// rate (more rows per Γ) and cut transfer 2–4× on top of it.
+	fmt.Fprintln(w, "# precision at fixed policy static, ratio 0.3")
+	for _, prec := range cache.Precisions()[1:] {
+		if err := run(cache.Static, prec); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

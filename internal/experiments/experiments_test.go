@@ -107,12 +107,16 @@ func TestAblationCachePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunAblationCachePolicy: %v", err)
 	}
-	if len(rows) != 6 {
-		t.Fatalf("rows = %d, want 6 policies", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 6 policies + 2 compact precisions", len(rows))
 	}
 	byPolicy := map[string]AblationCacheRow{}
-	for _, r := range rows {
+	byPrecision := map[string]AblationCacheRow{}
+	for _, r := range rows[:6] {
 		byPolicy[string(r.Policy)] = r
+	}
+	for _, r := range rows[6:] {
+		byPrecision[string(r.Precision)] = r
 	}
 	if byPolicy["none"].HitRate != 0 {
 		t.Error("policy none produced hits")
@@ -141,6 +145,25 @@ func TestAblationCachePolicy(t *testing.T) {
 		if byPolicy["opt"].HitRate < byPolicy[pol].HitRate {
 			t.Errorf("opt hit rate %.4f below %s's %.4f — offline optimum violated",
 				byPolicy["opt"].HitRate, pol, byPolicy[pol].HitRate)
+		}
+	}
+	// The precision sweep runs the static policy at the same Γ budget:
+	// compact rows fit more vertices (hit rate cannot drop) and each miss
+	// moves a narrower payload, so transfer must fall below the float32
+	// static row's.
+	f32 := byPolicy["static"]
+	for _, prec := range []string{"float16", "int8"} {
+		r, ok := byPrecision[prec]
+		if !ok {
+			t.Fatalf("no %s precision row", prec)
+		}
+		if r.HitRate < f32.HitRate {
+			t.Errorf("%s hit rate %.4f below float32 static's %.4f at the same budget",
+				prec, r.HitRate, f32.HitRate)
+		}
+		if r.TransferMB >= f32.TransferMB {
+			t.Errorf("%s transferred %.1f MB, not below float32 static's %.1f MB",
+				prec, r.TransferMB, f32.TransferMB)
 		}
 	}
 }

@@ -220,6 +220,56 @@ func TestKernelEquivalenceThroughPipeline(t *testing.T) {
 	}
 }
 
+// TestPrecisionEquivalenceThroughPipeline extends the kernel-equivalence
+// pin to the compact feature plane: at float16 and int8, a pipeline run
+// gathering through the quantized array-backed cache must hand the
+// consumer batches bit-identical to a run over the frozen map reference
+// whose kernel source takes every row through the same fused
+// quantize→dequantize round trip — same feature matrices, same misses,
+// same precision-scaled transfer bytes — at every prefetch depth. The
+// float32 leg of this contract is TestKernelEquivalenceThroughPipeline.
+func TestPrecisionEquivalenceThroughPipeline(t *testing.T) {
+	d, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	const capacity = 1200
+	for _, prec := range []cache.Precision{cache.Float16, cache.Int8} {
+		t.Run(string(prec), func(t *testing.T) {
+			mk := func(src cache.FeatureSource, prefetch int) []digest {
+				cfg := testConfig(t)
+				cfg.Epochs = 2
+				cfg.Prefetch = prefetch
+				cfg.Source = src
+				ds, _ := runDigests(t, cfg)
+				return ds
+			}
+			refK, err := cache.NewMapReference(cache.LRU, capacity, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mk(cache.NewKernelSourceAt(refK, g, prec), 0)
+			for _, depth := range []int{0, 1, 4} {
+				c, err := cache.NewAtPrecision(cache.LRU, capacity, g, prec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := mk(cache.NewCachedSource(c, g), depth)
+				if len(got) != len(want) {
+					t.Fatalf("prefetch %d consumed %d batches, reference %d", depth, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("precision %s prefetch %d batch %d differs:\nnew: %+v\nref: %+v",
+							prec, depth, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestPlanReplayBitwiseEqualLive pins the epoch-plan replay producer to
 // live sampling: a compiled plan driven through the pipeline must hand
 // the consumer bit-identical batches — same minibatch structure, same

@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 
+	"gnnavigator/internal/cache"
 	"gnnavigator/internal/hw"
 )
 
@@ -24,14 +25,24 @@ type Workload struct {
 	VertexScale float64
 	// FeatDim is the paper-scale per-vertex attribute dimension n_attr.
 	FeatDim int
-	// BytesPerScalar is the feature element width (4 for float32).
+	// BytesPerScalar is the compute-side scalar width (4 for float32):
+	// model parameters, activations and per-edge message buffers, which
+	// stay at full width regardless of feature storage precision.
 	BytesPerScalar float64
+	// Precision is the feature-plane storage width: it prices the Eq. 6
+	// transfer payload and the Eq. 9 Γ_cache row footprint. The zero
+	// value is the float32 baseline (bitwise-identical accounting to the
+	// pre-precision model).
+	Precision cache.Precision
 }
 
 // Validate checks workload sanity.
 func (w Workload) Validate() error {
 	if w.VertexScale <= 0 || w.FeatDim <= 0 || w.BytesPerScalar <= 0 {
 		return fmt.Errorf("sim: invalid workload %+v", w)
+	}
+	if !w.Precision.Valid() {
+		return fmt.Errorf("sim: unknown feature precision %q", w.Precision)
 	}
 	return nil
 }
@@ -113,6 +124,10 @@ func (t BatchTiming) Total() float64 {
 func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
 	vs := w.VertexScale
 	featBytes := float64(w.FeatDim) * w.BytesPerScalar
+	// Transfer terms price the quantized row payload, not the compute
+	// width: at float32 the two agree bitwise, at compact precisions the
+	// payload shrinks 2–4×.
+	xferBytes := float64(w.Precision.RowBytes(w.FeatDim))
 
 	// Eq. 7: t_sample = f(|V_i| - |B_0|, Host). Neighbor expansion cost is
 	// proportional to sampled edges (plus walk steps), parallel over cores.
@@ -120,20 +135,22 @@ func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
 	tSample := hostEdges/(p.Host.SampleEdgesPerSec*float64(p.Host.Cores)) + 30e-6
 	// Feature gather for the missing rows happens on the host too. The
 	// transferred row count comes from the feature plane's measured byte
-	// accounting when available, the cache-lookup miss count otherwise.
+	// accounting when available (divided by the precision's scaled-graph
+	// row bytes, matching how the plane priced them), the cache-lookup
+	// miss count otherwise.
 	missRows := float64(v.MissVertices)
 	if v.TransferBytes > 0 && v.ScaledFeatDim > 0 {
-		missRows = v.TransferBytes / (float64(v.ScaledFeatDim) * 4)
+		missRows = v.TransferBytes / float64(w.Precision.RowBytes(v.ScaledFeatDim))
 	}
-	missBytes := missRows * vs * featBytes
+	missBytes := missRows * vs * xferBytes
 	tSample += missBytes / p.Host.GatherBytesPerSec
 
 	// Eq. 6: t_transfer = f(n_attr · |V_i|(1-hit), Host, Device).
 	tTransfer := missBytes/p.Link.BytesPerSec + p.Link.LatencySec
 
 	// Eq. 5: t_replace = f(r|V|, |V_i|(1-hit), Device): write the admitted
-	// rows and fix the indexing structures.
-	updBytes := float64(v.CacheUpdateOps) * vs * featBytes
+	// (quantized) rows and fix the indexing structures.
+	updBytes := float64(v.CacheUpdateOps) * vs * xferBytes
 	var tReplace float64
 	if v.CacheUpdateOps > 0 {
 		tReplace = updBytes/p.Device.MemBytesPerSec + 20e-6
@@ -219,8 +236,12 @@ func EstimateMemory(v MemoryVolumes, w Workload) MemoryBreakdown {
 	bytesPer := w.BytesPerScalar
 	// Γ_model ∝ |Φ|: value + grad + two Adam moments.
 	model := float64(v.ModelParams) * bytesPer * 4
-	// Γ_cache = f(r|V| · n_attr).
-	cacheB := v.CacheVertices * float64(w.FeatDim) * bytesPer
+	// Γ_cache = f(r|V| · n_attr) at the feature storage precision:
+	// CacheVertices rows, each occupying the quantized payload plus any
+	// per-row quantization parameters. At float32 this is bitwise the
+	// pre-precision CacheVertices · FeatDim · 4 (scaling by a power of
+	// two commutes with IEEE rounding).
+	cacheB := v.CacheVertices * float64(w.Precision.StorageRowBytes(w.FeatDim))
 	// Γ_runtime = f(|V_i|, Φ): input features + activations (forward +
 	// retained for backward → 2x) across layers, plus the per-edge message
 	// buffer scatter-gather frameworks materialize.
