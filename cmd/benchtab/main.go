@@ -61,8 +61,19 @@ func main() {
 		plnQuick = flag.Bool("plan-quick", false, "shrink -plan-bench to one epoch and fewer probes (CI smoke)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		timeout  = flag.Duration("timeout", 0, "wall-clock watchdog (0 = none): exit with status 124 if the run exceeds this, so a hang fails a build instead of wedging it")
 	)
 	flag.Parse()
+
+	if *timeout > 0 {
+		// A watchdog rather than a context: benchtab's experiment drivers
+		// predate cancellation plumbing, and for CI the requirement is only
+		// that a wedged run dies loudly within the budget.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "benchtab: timeout after %v\n", *timeout)
+			os.Exit(124)
+		})
+	}
 
 	if *procs > 0 {
 		tensor.SetParallelism(*procs)

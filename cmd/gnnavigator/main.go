@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +47,10 @@ func main() {
 		prefetch  = flag.Int("prefetch", 0, "minibatch pipeline depth (0 = $GNNAV_PREFETCH or inline; results identical at any depth)")
 		savePlan  = flag.String("save-plan", "", "compile the training run's epoch plan and write it to this file (with -train)")
 		loadPlan  = flag.String("load-plan", "", "replay a compiled epoch plan from this file instead of sampling live (default $GNNAV_PLAN; with -train)")
+		ckptPath  = flag.String("checkpoint", "", "snapshot the training state to this file every -checkpoint-every epochs (with -train; atomic, checksummed)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "epochs between checkpoint snapshots (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume training from this checkpoint file (with -train); the resumed run is bitwise-identical to an uninterrupted one")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole workflow (0 = none); calibration, exploration and training abort cleanly when it expires")
 	)
 	flag.Parse()
 
@@ -110,6 +115,15 @@ func main() {
 		space.Precisions = []cache.Precision{prec}
 	}
 
+	// nil when unbounded: backend runs skip the per-batch cancellation
+	// check entirely instead of polling a context that can never expire.
+	var ctx context.Context
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
+
 	fmt.Fprintf(os.Stderr, "calibrating estimator (leave-one-out over %v)...\n", otherDatasets(*dsName))
 	nav, err := core.New(core.Input{
 		Dataset:  *dsName,
@@ -121,13 +135,17 @@ func main() {
 			MaxMemoryGB: *maxMem,
 			MinAccuracy: *minAcc,
 		},
-		Space:        space,
-		Precision:    prec,
-		CalibSamples: *samples,
-		Epochs:       *epochs,
-		Prefetch:     *prefetch,
-		SavePlan:     *savePlan,
-		LoadPlan:     *loadPlan,
+		Space:           space,
+		Precision:       prec,
+		CalibSamples:    *samples,
+		Epochs:          *epochs,
+		Prefetch:        *prefetch,
+		SavePlan:        *savePlan,
+		LoadPlan:        *loadPlan,
+		Ctx:             ctx,
+		Checkpoint:      *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
 		// -procs also governs the Navigator's coarse fan-outs (calibration
 		// runs, explorer predictions); 0 inherits the tensor default set
 		// above, so GNNAV_PROCS flows through end to end.

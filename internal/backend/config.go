@@ -205,6 +205,14 @@ func FromTemplate(tpl Template, ds string, kind model.Kind, platform string) (Co
 	return base, nil
 }
 
+// Fingerprint renders the full configuration as a stable string — the
+// identity a checkpoint records so resume can refuse a snapshot taken
+// under any different config. Every field participates: two configs
+// fingerprint equal iff they run identically (fidelity options like
+// prefetch or parallelism are deliberately excluded; outputs are
+// pinned bitwise-identical across those).
+func (c Config) Fingerprint() string { return fmt.Sprintf("%#v", c) }
+
 // FeaturePrecision resolves the config's feature storage width, with
 // the zero value meaning the float32 baseline.
 func (c Config) FeaturePrecision() cache.Precision { return c.Precision.OrDefault() }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -89,6 +90,31 @@ type Options struct {
 	// (sampler, seed, epochs, batch size, targets); incompatibility — or
 	// combining it with BiasRate > 0 — is an error, not a fallback.
 	Plan *plan.Plan
+
+	// Ctx, when non-nil, cancels the run cooperatively at batch
+	// granularity (including per-epoch validation): RunWith returns
+	// ctx.Err() after the pipeline tears down. Deadlines time-box long
+	// runs the same way.
+	Ctx context.Context
+	// CheckpointPath, when set, snapshots the training state (model
+	// parameters, Adam moments, accuracy history, completed-epoch count)
+	// to this file after every CheckpointEvery-th completed epoch,
+	// atomically (tmp+rename, CRC-64 footer). Incompatible with
+	// SkipTraining — a timing-only sweep has no state worth resuming.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in epochs (<= 0 means 1,
+	// i.e. after every epoch).
+	CheckpointEvery int
+	// ResumeFrom, when set, loads a checkpoint written by a previous run
+	// of the *same* Config (fingerprint-checked) and continues from its
+	// completed-epoch count. The completed epochs are fast-forwarded
+	// through the full pipeline with the NN work skipped — sampling and
+	// cache evolution are pure functions of the config, so residency,
+	// plan position and every Perf volume counter reconstruct exactly —
+	// and the restored parameters/optimizer state make the remaining
+	// epochs bitwise-identical to a never-interrupted run (all Perf
+	// fields except wall-clock WallSec). Incompatible with SkipTraining.
+	ResumeFrom string
 }
 
 // prefetchDepth resolves the Options.Prefetch encoding to a concrete
@@ -127,6 +153,27 @@ func Run(cfg Config) (*Perf, error) { return RunWith(cfg, Options{}) }
 func RunWith(cfg Config, opts Options) (*Perf, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.SkipTraining && (opts.ResumeFrom != "" || opts.CheckpointPath != "") {
+		return nil, fmt.Errorf("backend: checkpoint/resume requires training (SkipTraining is set)")
+	}
+	// Resume: the checkpoint pins the run identity and the training state;
+	// everything else below reconstructs by replay.
+	var ck *Checkpoint
+	if opts.ResumeFrom != "" {
+		var err error
+		if ck, err = LoadCheckpoint(opts.ResumeFrom); err != nil {
+			return nil, err
+		}
+		if ck.Fingerprint != cfg.Fingerprint() {
+			return nil, fmt.Errorf("backend: checkpoint %s was taken under a different config", opts.ResumeFrom)
+		}
+		if ck.Epochs > cfg.Epochs {
+			return nil, fmt.Errorf("backend: checkpoint %s holds %d completed epochs, run wants %d", opts.ResumeFrom, ck.Epochs, cfg.Epochs)
+		}
+		if len(ck.AccHistory) != ck.Epochs {
+			return nil, fmt.Errorf("backend: checkpoint %s: %d accuracy entries for %d epochs", opts.ResumeFrom, len(ck.AccHistory), ck.Epochs)
+		}
 	}
 	restore := opts.applyParallelism()
 	defer restore()
@@ -251,6 +298,11 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			return nil, err
 		}
 		opt = nn.NewAdam(cfg.LR)
+		if ck != nil {
+			if err := restoreCheckpoint(mdl, opt.(*nn.Adam), ck); err != nil {
+				return nil, fmt.Errorf("backend: resume from %s: %w", opts.ResumeFrom, err)
+			}
+		}
 	} else {
 		// Timing-only sweeps still need FLOPs/param counts.
 		mdl, err = model.New(model.Config{
@@ -304,6 +356,17 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	mdl.SetWorkspace(ws)
 	prefetch := opts.prefetchDepth()
 
+	// resumeEpochs is how many leading epochs are fast-forwarded: the
+	// pipeline runs them in full (sampling, cache evolution, volume
+	// accounting — all pure functions of cfg, so they reconstruct the
+	// interrupted run's state exactly), but the NN train step and the
+	// per-epoch validation are skipped; the checkpoint supplies their
+	// results.
+	resumeEpochs := 0
+	if ck != nil {
+		resumeEpochs = ck.Epochs
+	}
+
 	// The epoch loop runs on the staged pipeline engine: a sampler stage
 	// and a cache-lookup+gather stage run up to `prefetch` batches ahead
 	// of this consumer, which keeps all model state single-threaded.
@@ -346,7 +409,14 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		perf.PeakBatchEdges = max(perf.PeakBatchEdges, mb.NumEdges)
 		perf.Iterations++
 
-		if !opts.SkipTraining {
+		if !opts.SkipTraining && b.Epoch >= resumeEpochs {
+			if cfg.Dropout > 0 {
+				// Per-batch mask stream: a pure function of (seed, epoch,
+				// index), like every other random draw in the run — so a
+				// resumed run's masks match the uninterrupted run's exactly.
+				// The salt decorrelates the dropout chain from the sampler's.
+				mdl.SeedDropout(sample.BatchSeed(cfg.Seed^dropoutSeedSalt, b.Epoch, b.Index))
+			}
 			logits, err := mdl.Forward(mb, b.Feats, true)
 			if err != nil {
 				return err
@@ -363,16 +433,36 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	// scratch every epoch. Each Evaluate call is a fresh pipeline run, so
 	// the single-producer contract still holds.
 	evalSmp := evalSampler(cfg.Layers)
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 1
+	}
 	epochEnd := func(epoch int) error {
 		perf.EpochTimes = append(perf.EpochTimes, sim.EpochTime(timings))
 		timings = timings[:0]
-		if !opts.SkipTraining {
-			acc, err := evaluateWith(mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch, evalSmp)
-			if err != nil {
-				return err
-			}
+		if opts.SkipTraining {
+			return nil
+		}
+		if epoch < resumeEpochs {
+			// Fast-forwarded epoch: the checkpoint recorded its validation
+			// accuracy; re-evaluating would waste work (the restored
+			// parameters are post-resume, not this epoch's).
+			acc := ck.AccHistory[epoch]
 			perf.AccuracyHistory = append(perf.AccuracyHistory, acc)
 			perf.Accuracy = acc
+			return nil
+		}
+		acc, err := evaluateWith(opts.Ctx, mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch, evalSmp)
+		if err != nil {
+			return err
+		}
+		perf.AccuracyHistory = append(perf.AccuracyHistory, acc)
+		perf.Accuracy = acc
+		if opts.CheckpointPath != "" && ((epoch+1)%ckptEvery == 0 || epoch == cfg.Epochs-1) {
+			snap := snapshotCheckpoint(cfg, mdl, opt.(*nn.Adam), epoch+1, perf.AccuracyHistory)
+			if err := SaveCheckpoint(opts.CheckpointPath, snap); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -388,6 +478,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		Gather:    !opts.SkipTraining,
 		Prefetch:  prefetch,
 		Plan:      pl,
+		Ctx:       opts.Ctx,
 		// Keyed on the effective policy, not cfg.CachePolicy: a
 		// zero-capacity cache is downgraded to None above, and a
 		// prefilled (None/Static/Freq) residency never needs stage
@@ -486,6 +577,10 @@ func buildSampler(cfg Config, res sample.Residency) (sample.Sampler, int, error)
 // independent one-epoch plan, compiled through the shared plan cache and
 // mined with plan.CountOrder.
 const freqSeedSalt = 0x5eed
+
+// dropoutSeedSalt decorrelates the per-batch dropout mask streams from
+// the sampling chain rooted at the same (Seed, epoch, batch) triple.
+const dropoutSeedSalt = 0x1d40
 
 // CompilePlan compiles (or fetches from the process-wide plan cache) the
 // epoch plan cfg's training run follows — the artifact `gnnavigator
@@ -592,10 +687,10 @@ func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int
 // prefetch depth: sampling and feature gather for chunk i+1 overlap the
 // forward pass for chunk i. Results are bitwise-identical at any depth.
 func EvaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
-	return evaluateWith(mdl, g, idx, limit, seed, prefetch, evalSampler(mdl.Cfg().Layers))
+	return evaluateWith(nil, mdl, g, idx, limit, seed, prefetch, evalSampler(mdl.Cfg().Layers))
 }
 
-func evaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int, smp *sample.NodeWise) (float64, error) {
+func evaluateWith(ctx context.Context, mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int, smp *sample.NodeWise) (float64, error) {
 	if len(idx) == 0 {
 		return 0, fmt.Errorf("backend: empty evaluation set")
 	}
@@ -613,6 +708,7 @@ func evaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed
 		Targets:   idx,
 		Gather:    true,
 		Prefetch:  prefetch,
+		Ctx:       ctx,
 	}, func(b *pipeline.Batch) error {
 		logits, err := mdl.Forward(b.MB, b.Feats, false)
 		if err != nil {

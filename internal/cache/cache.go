@@ -46,6 +46,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"gnnavigator/internal/faultinject"
 	"gnnavigator/internal/graph"
 )
 
@@ -537,6 +538,11 @@ func (c *Cache) LookupInto(dst, nodes []int32) []int32 {
 // Writer-stage only; zero allocations once the slot table covers the
 // touched vertex range.
 func (c *Cache) Update(miss []int32) int {
+	if err := faultinject.Fire(faultinject.CacheShard); err != nil {
+		// Update has no error return; the pipeline's gather-stage
+		// containment converts this panic back into a clean error.
+		panic(err)
+	}
 	if !c.policy.Dynamic() || c.capacity == 0 {
 		return 0
 	}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gnnavigator/internal/backend"
@@ -87,6 +88,22 @@ type Input struct {
 	SavePlan string
 	LoadPlan string
 
+	// Ctx, when non-nil, cancels every backend run and estimator query
+	// the Navigator issues — calibration profiling, exploration, and
+	// final training alike. The gnnavigator -timeout flag maps onto this
+	// (context.WithTimeout). nil means no cancellation.
+	Ctx context.Context
+
+	// Checkpoint, when non-empty, makes Train snapshot its state to this
+	// path every CheckpointEvery epochs (default 1) plus once at the end;
+	// Resume, when non-empty, restores such a snapshot before training
+	// and fast-forwards to it — the resumed run is bitwise-identical to
+	// an uninterrupted one. See backend.Options. The gnnavigator
+	// -checkpoint/-checkpoint-every/-resume flags map onto these.
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          string
+
 	Seed int64
 }
 
@@ -163,7 +180,7 @@ func New(in Input) (*Navigator, error) {
 	for i, name := range in.CalibDatasets {
 		recs, err := estimator.CollectCachedWith(name, in.Model, in.Platform,
 			in.CalibSamples, in.Seed+int64(i)*101, true, in.Parallelism,
-			backend.Options{Prefetch: in.Prefetch})
+			backend.Options{Prefetch: in.Prefetch, Ctx: in.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("core: calibration on %s: %w", name, err)
 		}
@@ -222,7 +239,7 @@ func augment(in Input) ([]estimator.Record, error) {
 		}
 		cfgs := estimator.ProbeConfigs(d.Name, in.Model, in.Platform, 4, in.Seed+int64(i)*7)
 		recs, err := estimator.CollectWith(cfgs, false, in.Parallelism,
-			backend.Options{Prefetch: in.Prefetch})
+			backend.Options{Prefetch: in.Prefetch, Ctx: in.Ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -259,6 +276,7 @@ func (n *Navigator) Explore() (*Guidelines, error) {
 		Space:       n.in.Space,
 		Constraints: n.in.Constraints,
 		Workers:     n.in.Parallelism,
+		Ctx:         n.in.Ctx,
 	}
 	res, err := ex.Explore(n.base)
 	if err != nil {
@@ -287,9 +305,16 @@ func (n *Navigator) Explore() (*Guidelines, error) {
 // return the measured performance. The run uses the Navigator's pipeline
 // prefetch depth; results are bitwise-identical at any depth. When
 // Input.SavePlan/LoadPlan are set, the run's epoch plan is persisted /
-// replayed from disk (see Input).
+// replayed from disk; Input.Checkpoint/Resume snapshot and restore the
+// training state (see Input).
 func (n *Navigator) Train(cfg backend.Config) (*backend.Perf, error) {
-	opts := backend.Options{Prefetch: n.in.Prefetch}
+	opts := backend.Options{
+		Prefetch:        n.in.Prefetch,
+		Ctx:             n.in.Ctx,
+		CheckpointPath:  n.in.Checkpoint,
+		CheckpointEvery: n.in.CheckpointEvery,
+		ResumeFrom:      n.in.Resume,
+	}
 	if n.in.LoadPlan != "" {
 		p, err := plan.LoadFile(n.in.LoadPlan)
 		if err != nil {

@@ -1,0 +1,29 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestChaosExploreContextCancel: a cancelled context stops the
+// leaf-evaluation fan-out cleanly — Explore returns the context error
+// instead of a partial Result.
+func TestChaosExploreContextCancel(t *testing.T) {
+	est := sharedEstimator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Explorer{Est: est, Space: smallSpace(), Ctx: ctx}
+	if _, err := ex.Explore(baseCfg()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Explore returned %v, want context.Canceled", err)
+	}
+	// The same explorer with the cancellation lifted completes normally.
+	ex.Ctx = context.Background()
+	res, err := ex.Explore(baseCfg())
+	if err != nil {
+		t.Fatalf("Explore after lifting cancellation: %v", err)
+	}
+	if res.Evaluated == 0 {
+		t.Error("post-cancel exploration evaluated nothing")
+	}
+}

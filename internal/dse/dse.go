@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -202,6 +203,10 @@ type Explorer struct {
 	// Pareto and every Decide over them are bitwise-identical at any
 	// worker count.
 	Workers int
+	// Ctx, when non-nil, cancels the exploration: the leaf-evaluation
+	// fan-out checks it before every estimator query and Explore returns
+	// the context's error. nil means no cancellation.
+	Ctx context.Context
 }
 
 func (e *Explorer) workerCount() int {
@@ -345,6 +350,11 @@ func (e *Explorer) Explore(base backend.Config) (*Result, error) {
 	// baseline run, which only caches success — would otherwise re-fail
 	// once per leaf).
 	if err := tensor.ForEachIndexErr(len(leaves), e.workerCount(), func(i int) error {
+		if e.Ctx != nil {
+			if cerr := e.Ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
 		var err error
 		preds[i], err = e.Est.Predict(leaves[i])
 		return err

@@ -11,14 +11,18 @@
 package estimator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"gnnavigator/internal/backend"
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/faultinject"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
@@ -173,6 +177,95 @@ func probeAccuracy(d *dataset.Dataset) float64 {
 	return nn.Accuracy(lin.Forward(xv), vLabels)
 }
 
+// RetryPolicy bounds the transient-failure retry loop around each
+// calibration profiling run (see CollectWith): up to Attempts total
+// tries, sleeping an exponentially growing backoff between them —
+// BaseDelay doubled per retry, capped at MaxDelay. Retrying is safe
+// because a probe run is deterministic and side-effect-free on failure:
+// the package's memoizations (dataset stats, baseline accuracy, the
+// calibration cache) single-flight and store success only, so a retry
+// re-executes from a clean slate and — when it succeeds — yields the
+// exact records an unfaulted run would have produced.
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy is the probe retry policy CollectWith starts with:
+// three total attempts, 5ms backoff doubling to a 50ms cap — enough to
+// ride out transient failures without meaningfully delaying a genuine
+// (persistent) one.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+var (
+	retryMu    sync.Mutex
+	probeRetry = DefaultRetryPolicy()
+)
+
+// SetRetryPolicy replaces the probe retry policy and returns the
+// previous one (restore it in defer); zero/negative fields fall back to
+// the defaults. Attempts 1 disables retrying entirely.
+func SetRetryPolicy(p RetryPolicy) RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.Attempts < 1 {
+		p.Attempts = d.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	retryMu.Lock()
+	defer retryMu.Unlock()
+	prev := probeRetry
+	probeRetry = p
+	return prev
+}
+
+func retryPolicy() RetryPolicy {
+	retryMu.Lock()
+	defer retryMu.Unlock()
+	return probeRetry
+}
+
+// runProbe executes one calibration profiling run under the retry
+// policy. Context errors are terminal: a cancelled sweep must stop, not
+// retry its way past the deadline.
+func runProbe(cfg backend.Config, opts backend.Options) (*backend.Perf, error) {
+	pol := retryPolicy()
+	delay := pol.BaseDelay
+	var err error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > pol.MaxDelay {
+				delay = pol.MaxDelay
+			}
+		}
+		if opts.Ctx != nil {
+			if cerr := opts.Ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+		}
+		var perf *backend.Perf
+		if err = faultinject.Fire(faultinject.EstimatorProbe); err == nil {
+			perf, err = backend.RunWith(cfg, opts)
+		}
+		if err == nil {
+			return perf, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
 // Record pairs a configuration with its ground-truth performance, as
 // measured by actually executing it on the runtime backend.
 type Record struct {
@@ -202,7 +295,10 @@ func Collect(cfgs []backend.Config, withAccuracy bool, opts ...backend.Options) 
 // isolation — it owns its sampler, cache, model and RNG chain — and
 // records are index-stamped into the cfgs order, so the output is
 // identical at every worker count (WallSec, which measures host time,
-// is the one informational exception).
+// is the one informational exception). Transient per-probe failures
+// retry with bounded exponential backoff (RetryPolicy); a probe that
+// still fails after the last attempt fails the sweep, and context
+// cancellation is never retried.
 func CollectWith(cfgs []backend.Config, withAccuracy bool, workers int, opts ...backend.Options) ([]Record, error) {
 	runOpts := backend.Options{}
 	if len(opts) > 0 {
@@ -238,7 +334,7 @@ func CollectWith(cfgs []backend.Config, withAccuracy bool, workers int, opts ...
 		if err != nil {
 			return err
 		}
-		perf, err := backend.RunWith(cfg, runOpts)
+		perf, err := runProbe(cfg, runOpts)
 		if err != nil {
 			return fmt.Errorf("estimator: collect %s: %w", cfg.Label(), err)
 		}

@@ -153,6 +153,19 @@ func (m *Model) SetWorkspace(ws *tensor.Workspace) {
 // Workspace returns the attached arena (nil if none).
 func (m *Model) Workspace() *tensor.Workspace { return m.ws }
 
+// SeedDropout re-roots the dropout mask stream at an explicit seed: all
+// dropout layers share one fresh serial RNG, drawn in layer order during
+// Forward. Training loops that need checkpoint/resume determinism call
+// this once per batch with a seed derived from (run seed, epoch, batch
+// index), making every batch's masks a pure function of its coordinates
+// — independent of how many batches ran before it in this process.
+func (m *Model) SeedDropout(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, d := range m.dropouts {
+		d.Rng = rng
+	}
+}
+
 // Cfg returns the model configuration.
 func (m *Model) Cfg() Config { return m.cfg }
 

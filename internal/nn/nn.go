@@ -451,6 +451,54 @@ func (o *Adam) Step(params []*Param) {
 	}
 }
 
+// AdamState is the optimizer's full mutable state in a serializable
+// form: the step count plus first/second moment vectors aligned with a
+// caller-supplied parameter order. It exists for checkpointing — a
+// restored (params, AdamState) pair continues the update sequence
+// bitwise-identically to a never-interrupted run.
+type AdamState struct {
+	T int
+	// M and V hold the moment vectors per parameter, in the same order as
+	// the params slice given to State/SetState. A nil entry means the
+	// moments for that parameter were never touched (T == 0).
+	M, V [][]float64
+}
+
+// State snapshots the optimizer state for params (copies, in the given
+// order).
+func (o *Adam) State(params []*Param) AdamState {
+	st := AdamState{T: o.t, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		if m, ok := o.m[p]; ok {
+			st.M[i] = append([]float64(nil), m...)
+			st.V[i] = append([]float64(nil), o.v[p]...)
+		}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State over the same parameter
+// order. Moment lengths must match the parameter sizes.
+func (o *Adam) SetState(params []*Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state holds %d/%d moment vectors for %d params", len(st.M), len(st.V), len(params))
+	}
+	o.t = st.T
+	o.m = make(map[*Param][]float64, len(params))
+	o.v = make(map[*Param][]float64, len(params))
+	for i, p := range params {
+		if st.M[i] == nil {
+			continue
+		}
+		if len(st.M[i]) != p.Size() || len(st.V[i]) != p.Size() {
+			return fmt.Errorf("nn: adam moments for param %q hold %d/%d scalars, want %d", p.Name, len(st.M[i]), len(st.V[i]), p.Size())
+		}
+		o.m[p] = append([]float64(nil), st.M[i]...)
+		o.v[p] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
+}
+
 // CountParams returns the total number of scalars across params.
 func CountParams(params []*Param) int {
 	var n int

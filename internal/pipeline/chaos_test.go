@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gnnavigator/internal/faultinject"
+)
+
+// waitForGoroutines polls until the goroutine count returns to (near) the
+// baseline. Tensor-pool workers are resident by design, so callers must
+// capture the baseline after warming the pool; only growth beyond the
+// pre-call count is a pipeline leak.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", baseline, runtime.NumGoroutine())
+}
+
+// TestChaosConsumerErrorNoGoroutineLeak: a consumer error mid-epoch must
+// shut every stage goroutine down (sampler and gather for the split
+// topology, the fused producer for the coupled one), leave no goroutine
+// behind, and deliver no batch after the failing one.
+func TestChaosConsumerErrorNoGoroutineLeak(t *testing.T) {
+	for _, coupled := range []bool{false, true} {
+		t.Run(fmt.Sprintf("coupled=%v", coupled), func(t *testing.T) {
+			cfg := testConfig(t)
+			cfg.Prefetch = 4
+			cfg.CoupledSampler = coupled
+			boom := errors.New("consumer boom")
+			before := runtime.NumGoroutine()
+			n := 0
+			done := false
+			err := Run(cfg, func(b *Batch) error {
+				if done {
+					t.Error("batch delivered after consumer error")
+				}
+				n++
+				if n == 5 {
+					done = true
+					return boom
+				}
+				return nil
+			}, nil)
+			if !errors.Is(err, boom) {
+				t.Fatalf("Run returned %v, want consumer error", err)
+			}
+			if n != 5 {
+				t.Fatalf("consumed %d batches, want 5", n)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosInjectedStageErrors arms the sampler and gather injection
+// points in turn and asserts the run degrades to a clean error — wrapping
+// the sentinel, after a teardown that leaks nothing — at the inline path,
+// a deep prefetch, and the fused producer.
+func TestChaosInjectedStageErrors(t *testing.T) {
+	for _, point := range []faultinject.Point{faultinject.PipelineSample, faultinject.PipelineGather} {
+		for _, prefetch := range []int{0, 4} {
+			for _, coupled := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/prefetch=%d/coupled=%v", point, prefetch, coupled), func(t *testing.T) {
+					defer faultinject.Reset()
+					cfg := testConfig(t)
+					cfg.Epochs = 2
+					cfg.Prefetch = prefetch
+					cfg.CoupledSampler = coupled
+					faultinject.Arm(point, faultinject.Spec{Kind: faultinject.Error, After: 3, Count: 1})
+					before := runtime.NumGoroutine()
+					n := 0
+					err := Run(cfg, func(b *Batch) error { n++; return nil }, nil)
+					if !errors.Is(err, faultinject.ErrInjected) {
+						t.Fatalf("Run returned %v, want injected error", err)
+					}
+					if n > 3 {
+						t.Fatalf("consumed %d batches past the injected failure at hit 3", n)
+					}
+					waitForGoroutines(t, before)
+				})
+			}
+		}
+	}
+}
+
+// TestChaosStagePanicContained: an injected panic inside a stage
+// goroutine must come back as an error from Run — never crash the
+// process or strand the sibling stages.
+func TestChaosStagePanicContained(t *testing.T) {
+	for _, prefetch := range []int{0, 4} {
+		t.Run(fmt.Sprintf("prefetch=%d", prefetch), func(t *testing.T) {
+			defer faultinject.Reset()
+			cfg := testConfig(t)
+			cfg.Epochs = 2
+			cfg.Prefetch = prefetch
+			faultinject.Arm(faultinject.PipelineSample, faultinject.Spec{Kind: faultinject.Panic, After: 2, Count: 1})
+			before := runtime.NumGoroutine()
+			err := Run(cfg, func(b *Batch) error { return nil }, nil)
+			if err == nil || !strings.Contains(err.Error(), "injected panic") {
+				t.Fatalf("Run returned %v, want contained injected panic", err)
+			}
+			waitForGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosConsumerPanicContained: a panic on the consumer side (model
+// compute, a rethrown kernel *WorkerPanic) also converts to an error
+// after the stages tear down.
+func TestChaosConsumerPanicContained(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Prefetch = 3
+	before := runtime.NumGoroutine()
+	n := 0
+	err := Run(cfg, func(b *Batch) error {
+		n++
+		if n == 4 {
+			panic("consumer boom")
+		}
+		return nil
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "consumer boom") {
+		t.Fatalf("Run returned %v, want contained consumer panic", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestChaosContextCancel: cancelling the run context stops the pipeline
+// at batch granularity with ctx.Err() and a full teardown, at every
+// topology.
+func TestChaosContextCancel(t *testing.T) {
+	for _, prefetch := range []int{0, 4} {
+		for _, coupled := range []bool{false, true} {
+			t.Run(fmt.Sprintf("prefetch=%d/coupled=%v", prefetch, coupled), func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				cfg := testConfig(t)
+				cfg.Prefetch = prefetch
+				cfg.CoupledSampler = coupled
+				cfg.Ctx = ctx
+				before := runtime.NumGoroutine()
+				n := 0
+				err := Run(cfg, func(b *Batch) error {
+					n++
+					if n == 3 {
+						cancel()
+					}
+					return nil
+				}, nil)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("Run returned %v, want context.Canceled", err)
+				}
+				waitForGoroutines(t, before)
+			})
+		}
+	}
+}
+
+// TestChaosContextDeadline: an already-expired deadline yields
+// DeadlineExceeded before any batch is delivered.
+func TestChaosContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cfg := testConfig(t)
+	cfg.Prefetch = 2
+	cfg.Ctx = ctx
+	err := Run(cfg, func(b *Batch) error {
+		t.Error("batch delivered under an expired deadline")
+		return nil
+	}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestChaosDelayOnlySlowsRun: a Delay fault is a slow stage, not a
+// failed one — the run must still complete with every batch delivered.
+func TestChaosDelayOnlySlowsRun(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := testConfig(t)
+	cfg.Epochs = 1
+	cfg.Prefetch = 2
+	ref := 0
+	if err := Run(cfg, func(b *Batch) error { ref++; return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.PipelineGather, faultinject.Spec{Kind: faultinject.Delay, Sleep: time.Millisecond, Count: 3})
+	got := 0
+	if err := Run(cfg, func(b *Batch) error { got++; return nil }, nil); err != nil {
+		t.Fatalf("delayed run failed: %v", err)
+	}
+	if got != ref {
+		t.Fatalf("delayed run delivered %d batches, reference %d", got, ref)
+	}
+}

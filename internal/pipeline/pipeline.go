@@ -38,6 +38,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -45,6 +46,7 @@ import (
 	"sync/atomic"
 
 	"gnnavigator/internal/cache"
+	"gnnavigator/internal/faultinject"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/plan"
@@ -173,6 +175,26 @@ type Config struct {
 	// never racing ahead of the cache. Static caches don't need this:
 	// their residency is immutable, so Contains is order-independent.
 	CoupledSampler bool
+
+	// Ctx, when non-nil, cancels the run: every stage checks it between
+	// batches, and Run returns ctx.Err() after tearing the stages down.
+	// Cancellation is cooperative at batch granularity — a batch already
+	// in flight completes, but no further batch is sampled, gathered, or
+	// delivered. nil means no cancellation (run to completion).
+	Ctx context.Context
+}
+
+// ctxErr reports the run context's error, if it has been cancelled.
+func (cfg *Config) ctxErr() error {
+	if cfg.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-cfg.Ctx.Done():
+		return cfg.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (cfg *Config) validate() error {
@@ -206,22 +228,28 @@ func (cfg *Config) plan(epoch int) [][]int32 {
 
 // sampleBatch is the sampler stage's work for one batch: live sampling
 // through the per-batch RNG, or plan replay when Config.Plan is set.
-func (cfg *Config) sampleBatch(epoch, index int, targets []int32) *Batch {
+func (cfg *Config) sampleBatch(epoch, index int, targets []int32) (*Batch, error) {
+	if err := faultinject.Fire(faultinject.PipelineSample); err != nil {
+		return nil, fmt.Errorf("pipeline: sample batch (%d,%d): %w", epoch, index, err)
+	}
 	b := &Batch{Epoch: epoch, Index: index, Targets: targets}
 	if cfg.Plan != nil {
 		b.MB = cfg.Plan.Replay(epoch, index)
-		return b
+		return b, nil
 	}
 	rng := sample.BatchRNG(cfg.Seed, epoch, index)
 	b.MB = cfg.Sampler.Sample(rng, cfg.Graph, targets)
-	return b
+	return b, nil
 }
 
 // prepareBatch is the cache+gather stage's work for one batch: route the
 // batch's input rows through the feature plane (lookup/update/transfer
 // accounting, in batch order), then feature/label gather into the
 // batch's buffer set.
-func (cfg *Config) prepareBatch(b *Batch, buf *bufferSet) {
+func (cfg *Config) prepareBatch(b *Batch, buf *bufferSet) error {
+	if err := faultinject.Fire(faultinject.PipelineGather); err != nil {
+		return fmt.Errorf("pipeline: gather batch (%d,%d): %w", b.Epoch, b.Index, err)
+	}
 	if cfg.Gather {
 		b.buf = buf
 		if cfg.Source != nil {
@@ -241,21 +269,47 @@ func (cfg *Config) prepareBatch(b *Batch, buf *bufferSet) {
 		st := cfg.Source.Access(b.MB.InputNodes)
 		b.Miss, b.CacheOps, b.TransferBytes = st.Miss, st.CacheOps, st.TransferBytes
 	}
+	return nil
+}
+
+// recoveredErr converts a recovered panic value into the error a stage
+// reports through the shutdown path. Panics already contained once by the
+// tensor pool (*tensor.WorkerPanic) pass through as errors, keeping the
+// original stack; anything else is wrapped with the stage name.
+func recoveredErr(where string, r any) error {
+	if wp, ok := r.(*tensor.WorkerPanic); ok {
+		return fmt.Errorf("pipeline: %s: %w", where, wp)
+	}
+	if err, ok := r.(error); ok {
+		// Error-valued panics (e.g. a no-error-return site converting an
+		// injected fault) keep their chain, so errors.Is still works on
+		// the contained result.
+		return fmt.Errorf("pipeline: %s: panic: %w", where, err)
+	}
+	return fmt.Errorf("pipeline: %s: panic: %v", where, r)
 }
 
 // Run drives the pipeline: consume is called for every batch in (epoch,
 // index) order, and epochEnd (optional) after the last batch of each
 // epoch — both on the calling goroutine, so consumers may use non-thread-
 // safe state (model, optimizer, workspace) freely. Run returns the first
-// callback error after shutting the stages down; no goroutine outlives
-// the call.
-func Run(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) error) error {
+// callback or stage error after shutting the stages down; no goroutine
+// outlives the call, and no batch is delivered after the first failure.
+// Panics — a stage's, the consumer's, or a *tensor.WorkerPanic rethrown
+// by a kernel dispatched from either — are contained here and returned as
+// errors after the teardown completes.
+func Run(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) error) (err error) {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
 	if epochEnd == nil {
 		epochEnd = func(int) error { return nil }
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredErr("run", r)
+		}
+	}()
 	if cfg.Prefetch <= 0 {
 		return runInline(cfg, consume, epochEnd)
 	}
@@ -268,8 +322,16 @@ func runInline(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) 
 	buf := &bufferSet{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for i, targets := range cfg.plan(epoch) {
-			b := cfg.sampleBatch(epoch, i, targets)
-			cfg.prepareBatch(b, buf)
+			if err := cfg.ctxErr(); err != nil {
+				return err
+			}
+			b, err := cfg.sampleBatch(epoch, i, targets)
+			if err != nil {
+				return err
+			}
+			if err := cfg.prepareBatch(b, buf); err != nil {
+				return err
+			}
 			if err := consume(b); err != nil {
 				return err
 			}
@@ -292,6 +354,32 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 		close(done)
 		wg.Wait()
 	}()
+
+	// stageErr records the first stage failure (injected error, cancelled
+	// context, or recovered panic). A failing stage records here, then
+	// closes its output channel; the closure drains downstream, the
+	// consumer loop ends without seeing another batch, and Run returns
+	// this error — the same shutdown path a consumer error takes, driven
+	// from the producer side.
+	var (
+		errMu    sync.Mutex
+		stageErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if stageErr == nil {
+			stageErr = err
+		}
+		errMu.Unlock()
+	}
+	firstErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return stageErr
+	}
 
 	// Gather ring: one set being filled, up to depth queued, one held by
 	// the consumer. Only Gather runs draw from it (the consumer returns
@@ -322,14 +410,30 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 		go func() {
 			defer wg.Done()
 			defer close(out)
+			defer func() {
+				if r := recover(); r != nil {
+					fail(recoveredErr("producer stage", r))
+				}
+			}()
 			for epoch := 0; epoch < cfg.Epochs; epoch++ {
 				for i, targets := range cfg.plan(epoch) {
-					b := cfg.sampleBatch(epoch, i, targets)
+					if err := cfg.ctxErr(); err != nil {
+						fail(err)
+						return
+					}
+					b, err := cfg.sampleBatch(epoch, i, targets)
+					if err != nil {
+						fail(err)
+						return
+					}
 					buf, ok := acquire()
 					if !ok {
 						return
 					}
-					cfg.prepareBatch(b, buf)
+					if err := cfg.prepareBatch(b, buf); err != nil {
+						fail(err)
+						return
+					}
 					select {
 					case out <- b:
 					case <-done:
@@ -344,10 +448,24 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 		go func() { // sampler stage
 			defer wg.Done()
 			defer close(sampled)
+			defer func() {
+				if r := recover(); r != nil {
+					fail(recoveredErr("sampler stage", r))
+				}
+			}()
 			for epoch := 0; epoch < cfg.Epochs; epoch++ {
 				for i, targets := range cfg.plan(epoch) {
+					if err := cfg.ctxErr(); err != nil {
+						fail(err)
+						return
+					}
+					b, err := cfg.sampleBatch(epoch, i, targets)
+					if err != nil {
+						fail(err)
+						return
+					}
 					select {
-					case sampled <- cfg.sampleBatch(epoch, i, targets):
+					case sampled <- b:
 					case <-done:
 						return
 					}
@@ -358,12 +476,20 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 		go func() { // cache lookup + gather stage
 			defer wg.Done()
 			defer close(out)
+			defer func() {
+				if r := recover(); r != nil {
+					fail(recoveredErr("gather stage", r))
+				}
+			}()
 			for b := range sampled {
 				buf, ok := acquire()
 				if !ok {
 					return
 				}
-				cfg.prepareBatch(b, buf)
+				if err := cfg.prepareBatch(b, buf); err != nil {
+					fail(err)
+					return
+				}
 				select {
 				case out <- b:
 				case <-done:
@@ -376,6 +502,9 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 	// Consumer: caller's goroutine.
 	epoch := 0
 	for b := range out {
+		if err := cfg.ctxErr(); err != nil {
+			return err
+		}
 		if b.Epoch != epoch {
 			if err := epochEnd(epoch); err != nil {
 				return err
@@ -390,6 +519,12 @@ func runAsync(cfg Config, consume func(*Batch) error, epochEnd func(epoch int) e
 			free <- b.buf
 			b.buf = nil
 		}
+	}
+	// out closed: either the stages finished cleanly, or one failed and
+	// shut the channel early. A stage failure means the run is partial, so
+	// the final epochEnd must not fire.
+	if err := firstErr(); err != nil {
+		return err
 	}
 	return epochEnd(epoch)
 }

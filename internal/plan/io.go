@@ -2,62 +2,151 @@ package plan
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"os"
+
+	"gnnavigator/internal/faultinject"
 )
 
 // Binary plan persistence: a fixed magic/version header, the key, the
-// shape, then the raw little-endian arrays. Plans are pure int32/int64
-// data, so the format is a straight dump — gnnavigator -save-plan /
-// -load-plan round-trips through it.
+// shape, then the raw little-endian arrays, closed by a CRC-64 footer.
+// Plans are pure int32/int64 data, so the format is a straight dump —
+// gnnavigator -save-plan / -load-plan round-trips through it.
+//
+// Version history:
+//
+//	GNAVPLN1 — header + body, no integrity check (still readable).
+//	GNAVPLN2 — header + body + CRC-64/ECMA of the body as the trailing
+//	           8 bytes (little-endian). Truncation and bit flips anywhere
+//	           in the body or footer are rejected on load.
 
-var planMagic = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '1'}
+var (
+	planMagicV1 = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '1'}
+	planMagicV2 = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '2'}
+)
 
-// SaveFile writes the plan to path (atomically via rename).
+// planCRC is the footer polynomial (shared with the checkpoint format).
+var planCRC = crc64.MakeTable(crc64.ECMA)
+
+// SaveFile writes the plan to path (atomically via rename, in the
+// current GNAVPLN2 format). A failed write or rename leaves no *.tmp
+// file behind.
 func SaveFile(path string, p *Plan) error {
+	if err := faultinject.Fire(faultinject.PlanSave); err != nil {
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	var body bytes.Buffer
+	if err := writePlanBody(&body, p); err != nil {
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	payload := body.Bytes()
+	// The checksum covers the intact body; the chaos Mutate hook flips
+	// bits only after it is computed, modelling media corruption that the
+	// load-side verification must catch.
+	sum := crc64.Checksum(payload, planCRC)
+	faultinject.Mutate(faultinject.PlanSave, payload)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	if err := writePlan(w, p); err != nil {
+	werr := func() error {
+		w := bufio.NewWriter(f)
+		if _, err := w.Write(planMagicV2[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+			return err
+		}
+		return w.Flush()
+	}()
+	if werr != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("plan: save %s: %w", path, err)
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("plan: save %s: %w", path, err)
+		return fmt.Errorf("plan: save %s: %w", path, werr)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("plan: save %s: %w", path, err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	return nil
 }
 
-// LoadFile reads a plan previously written by SaveFile.
+// LoadFile reads a plan previously written by SaveFile — the current
+// checksummed GNAVPLN2 format, or a legacy GNAVPLN1 file (no footer).
 func LoadFile(path string) (*Plan, error) {
+	if err := faultinject.Fire(faultinject.PlanLoad); err != nil {
+		return nil, fmt.Errorf("plan: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	p, err := readPlan(bufio.NewReader(f))
+	r := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("plan: load %s: %w", path, err)
+	}
+	var p *Plan
+	switch magic {
+	case planMagicV1:
+		// Legacy: no footer to verify; the body's own shape/extent checks
+		// are the only guard.
+		p, err = readPlanBody(r)
+	case planMagicV2:
+		p, err = readPlanV2(r)
+	default:
+		return nil, fmt.Errorf("plan: load %s: bad magic %q (not a plan file or wrong version)", path, magic[:])
+	}
 	if err != nil {
 		return nil, fmt.Errorf("plan: load %s: %w", path, err)
 	}
 	return p, nil
 }
 
-func writePlan(w io.Writer, p *Plan) error {
-	if _, err := w.Write(planMagic[:]); err != nil {
-		return err
+// readPlanV2 reads body+footer, verifies the CRC over the exact body
+// bytes, then parses. The whole rest of the file is read up front so
+// truncation is indistinguishable from corruption — both fail the
+// checksum, never a partial parse.
+func readPlanV2(r io.Reader) (*Plan, error) {
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
 	}
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("truncated: %d bytes after header, need >= 8 for the checksum footer", len(rest))
+	}
+	payload, footer := rest[:len(rest)-8], rest[len(rest)-8:]
+	want := binary.LittleEndian.Uint64(footer)
+	if got := crc64.Checksum(payload, planCRC); got != want {
+		return nil, fmt.Errorf("checksum mismatch: file says %016x, body hashes to %016x (corrupt or truncated)", want, got)
+	}
+	br := bytes.NewReader(payload)
+	p, err := readPlanBody(br)
+	if err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("corrupt plan: %d trailing bytes after body", br.Len())
+	}
+	return p, nil
+}
+
+// writePlanBody serializes everything after the magic: key, shape,
+// arrays.
+func writePlanBody(w io.Writer, p *Plan) error {
 	if err := writeString(w, p.key.Dataset); err != nil {
 		return err
 	}
@@ -85,14 +174,7 @@ func writePlan(w io.Writer, p *Plan) error {
 	return nil
 }
 
-func readPlan(r io.Reader) (*Plan, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, err
-	}
-	if magic != planMagic {
-		return nil, fmt.Errorf("bad magic %q (not a plan file or wrong version)", magic[:])
-	}
+func readPlanBody(r io.Reader) (*Plan, error) {
 	p := &Plan{}
 	var err error
 	if p.key.Dataset, err = readString(r); err != nil {

@@ -1,11 +1,15 @@
 package tensor
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"gnnavigator/internal/faultinject"
 )
 
 // Workers never block waiting for other shards: a dispatcher that has
@@ -40,13 +44,66 @@ type job struct {
 	// closes done, releasing the dispatcher's parked wait.
 	pending *atomic.Int64
 	done    chan struct{}
+	// panicked captures the batch's first worker panic (as *WorkerPanic)
+	// so the dispatcher can rethrow it on its own goroutine after the
+	// batch drains. Without the capture, a panicking shard would kill its
+	// pool worker, the batch counter would never reach zero, and the
+	// dispatcher would park on done forever.
+	panicked *atomic.Value
+}
+
+// WorkerPanic wraps a panic recovered on a pool worker (or a ForEachIndex
+// task goroutine) and rethrown on the dispatching goroutine — the value a
+// containment layer above (pipeline stages, ForEachIndexErr) sees when a
+// sharded kernel or fanned-out task panics. It implements error so those
+// layers can propagate it as one.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time (the
+	// rethrow loses the original stack, so it is preserved here).
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("tensor: worker panic: %v", p.Value)
+}
+
+// Unwrap exposes an error-valued panic (e.g. an injected fault thrown by
+// a site without an error return) so errors.Is/As see through the
+// capture.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// asWorkerPanic wraps a recovered value, passing through values that are
+// already wrapped (a nested dispatch rethrowing into an outer one).
+func asWorkerPanic(r any) *WorkerPanic {
+	if wp, ok := r.(*WorkerPanic); ok {
+		return wp
+	}
+	return &WorkerPanic{Value: r, Stack: debug.Stack()}
 }
 
 func runJob(j job) {
-	j.fn(j.lo, j.hi)
-	if j.pending.Add(-1) == 0 {
-		close(j.done)
+	// The decrement must happen even when fn panics (via the deferred
+	// recovery), or the batch never completes; the capture keeps the pool
+	// worker itself alive.
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicked.CompareAndSwap(nil, asWorkerPanic(r))
+		}
+		if j.pending.Add(-1) == 0 {
+			close(j.done)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.TensorWorker); err != nil {
+		panic(err)
 	}
+	j.fn(j.lo, j.hi)
 }
 
 func init() { parallelism.Store(int32(defaultParallelism())) }
@@ -143,18 +200,38 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := faultinject.Fire(faultinject.TensorWorker); err != nil {
+				panic(err)
+			}
 			fn(i)
 		}
 		return
 	}
 	var next atomic.Int64
+	var panicked atomic.Value
+	// Each task runs under a recovery guard: a panicking task is captured
+	// (first wins), the remaining tasks are skipped, and the panic is
+	// rethrown as *WorkerPanic on the calling goroutine after every task
+	// goroutine has exited — mirroring the kernel pool's containment, so
+	// a panicking fanned-out run can never strand its siblings' WaitGroup.
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, asWorkerPanic(r))
+			}
+		}()
+		if err := faultinject.Fire(faultinject.TensorWorker); err != nil {
+			panic(err)
+		}
+		fn(i)
+	}
 	drain := func() {
-		for {
+		for panicked.Load() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			call(i)
 		}
 	}
 	var wg sync.WaitGroup
@@ -167,6 +244,9 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 	}
 	drain()
 	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
 }
 
 // ForEachIndexErr is ForEachIndex for fallible items: once any fn
@@ -175,10 +255,25 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 // (a backend profiling run) or the failure would repeat per item. The
 // lowest-index recorded error is returned; index-stamped output written
 // before the failure is partial and must be discarded by the caller.
-func ForEachIndexErr(n, workers int, fn func(i int) error) error {
+//
+// Panics — fn's own, or a *WorkerPanic rethrown by a kernel dispatch
+// nested inside fn — are contained here and returned as errors, so a
+// fan-out of expensive fallible tasks (calibration profiling, DSE
+// prediction) degrades to a clean failure instead of crashing the
+// process.
+func ForEachIndexErr(n, workers int, fn func(i int) error) (err error) {
 	if n <= 0 {
 		return nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if wp, ok := r.(*WorkerPanic); ok {
+				err = wp
+				return
+			}
+			err = fmt.Errorf("tensor: task panic: %v", r)
+		}
+	}()
 	errs := make([]error, n)
 	var failed atomic.Bool
 	ForEachIndex(n, workers, func(i int) {
@@ -245,13 +340,14 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 	var pending atomic.Int64
 	pending.Store(int64(njobs))
 	done := make(chan struct{})
+	var panicked atomic.Value
 	for s := 1; s <= njobs; s++ {
 		lo := s * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		j := job{fn: fn, lo: lo, hi: hi, pending: &pending, done: done}
+		j := job{fn: fn, lo: lo, hi: hi, pending: &pending, done: done, panicked: &panicked}
 		select {
 		case jobs <- j:
 		default:
@@ -261,7 +357,17 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 			runJob(j)
 		}
 	}
-	fn(0, chunk)
+	// The dispatcher's own shard runs under the same recovery as
+	// dispatched jobs: a panic here must still wait for the outstanding
+	// shards (which share the caller's buffers) before propagating.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, asWorkerPanic(r))
+			}
+		}()
+		fn(0, chunk)
+	}()
 	// Helping wait: drain queued jobs (this batch's, a sibling's, or a
 	// nested dispatch's) instead of blocking, so the pool cannot deadlock
 	// on re-entrant use. Once the queue is empty the remaining shards are
@@ -278,5 +384,12 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 			case <-done:
 			}
 		}
+	}
+	// Containment: rethrow the batch's first shard panic on the calling
+	// goroutine, after every shard has stopped touching the caller's
+	// data. The pool workers themselves never die, and the panic
+	// surfaces exactly where the serial loop's would have.
+	if r := panicked.Load(); r != nil {
+		panic(r)
 	}
 }
