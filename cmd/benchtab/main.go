@@ -59,6 +59,11 @@ func main() {
 		plnBench = flag.Bool("plan-bench", false, "measure live sampling vs compiled-plan replay and plan-shared calibration collection, writing BENCH_plan.json")
 		plnOut   = flag.String("plan-out", "BENCH_plan.json", "output path for -plan-bench")
 		plnQuick = flag.Bool("plan-quick", false, "shrink -plan-bench to one epoch and fewer probes (CI smoke)")
+		svBench  = flag.Bool("serve-bench", false, "drive the HTTP serving stack with uniform + Zipf closed-loop load and write BENCH_serve.json")
+		svOut    = flag.String("serve-out", "BENCH_serve.json", "output path for -serve-bench")
+		svModel  = flag.String("serve-model", "", "model file for -serve-bench (trained and saved there if absent; empty = throwaway temp)")
+		svURL    = flag.String("serve-url", "", "drive a running gnnserve at this base URL instead of an in-process server (with -serve-bench)")
+		svQuick  = flag.Bool("serve-quick", false, "shrink -serve-bench's client fleet (CI smoke)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		timeout  = flag.Duration("timeout", 0, "wall-clock watchdog (0 = none): exit with status 124 if the run exceeds this, so a hang fails a build instead of wedging it")
@@ -100,6 +105,8 @@ func main() {
 		cchBench: *cchBench, cchOut: *cchOut,
 		dseBench: *dseBench, dseOut: *dseOut, dseQuick: *dseQuick,
 		plnBench: *plnBench, plnOut: *plnOut, plnQuick: *plnQuick,
+		svBench: *svBench, svOut: *svOut, svModel: *svModel,
+		svURL: *svURL, svQuick: *svQuick,
 	})
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
@@ -137,6 +144,11 @@ type benchModes struct {
 	plnBench bool
 	plnOut   string
 	plnQuick bool
+	svBench  bool
+	svOut    string
+	svModel  string
+	svURL    string
+	svQuick  bool
 }
 
 // dispatch runs exactly one benchtab mode; profiles (if any) bracket it.
@@ -174,6 +186,12 @@ func dispatch(exp string, full bool, m benchModes) error {
 	if m.plnBench {
 		if err := runPlanBench(m.plnOut, m.plnQuick); err != nil {
 			return fmt.Errorf("plan-bench: %w", err)
+		}
+		return nil
+	}
+	if m.svBench {
+		if err := runServeBench(m.svOut, m.svModel, m.svURL, m.svQuick); err != nil {
+			return fmt.Errorf("serve-bench: %w", err)
 		}
 		return nil
 	}

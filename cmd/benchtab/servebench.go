@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/infer"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/serve"
+)
+
+// The serve bench drives the HTTP serving stack (internal/serve over
+// infer.Engine) with closed-loop load-generator clients and writes
+// BENCH_serve.json. Two request-skew workloads run against identical
+// fresh servers:
+//
+//   - uniform: every vertex equally likely — the cache's worst case;
+//   - zipf: Zipf-skewed popularity — the production-shaped case the
+//     LRU feature plane exists for.
+//
+// The report carries client-side p50/p99 latency and throughput plus
+// the server's own coalescing and cache counters; in-process runs gate
+// on the zipf hit rate beating uniform at equal capacity.
+
+// serveBenchDataset/serveCacheRatio pin the bench shape; the trained
+// model is tiny (the bench measures the serving stack, not accuracy).
+const (
+	serveBenchDataset = dataset.OgbnArxiv
+	serveCacheRatio   = 0.1
+	serveZipfSkew     = 1.3
+)
+
+// ServeWorkloadBench is one workload's measurements.
+type ServeWorkloadBench struct {
+	Workload    string  `json:"workload"`
+	Clients     int     `json:"clients"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Vertices    int64   `json:"vertices"`
+	DurationSec float64 `json:"duration_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	RPS         float64 `json:"rps"`
+	// Server-side counters (absent in external mode when /stats is
+	// unreachable).
+	Flushes          int64   `json:"flushes"`
+	MeanBatch        float64 `json:"mean_batch"`
+	HitRate          float64 `json:"hit_rate"`
+	TransferredBytes int64   `json:"transferred_bytes"`
+}
+
+// ServeBenchReport is the whole BENCH_serve.json document.
+type ServeBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	NumCPU     int                  `json:"num_cpu"`
+	Quick      bool                 `json:"quick"`
+	External   string               `json:"external_url,omitempty"`
+	Dataset    string               `json:"dataset"`
+	ModelKind  string               `json:"model_kind,omitempty"`
+	CacheRows  int                  `json:"cache_rows"`
+	Workloads  []ServeWorkloadBench `json:"workloads"`
+}
+
+// runServeBench measures the serving stack and writes BENCH_serve.json.
+// modelPath, when non-empty, is where the bench's trained model is kept
+// (reused if it already exists — CI trains once and serves twice);
+// empty trains into a throwaway temp file. url, when non-empty,
+// switches to external mode: the load generator drives a running
+// gnnserve at that base URL instead of an in-process server, and the
+// hit-rate gate is skipped (the external cache's state is not ours to
+// reason about). quick shrinks the client fleet for CI smoke runs.
+func runServeBench(outPath, modelPath, url string, quick bool) error {
+	report := ServeBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		External:   url,
+		Dataset:    serveBenchDataset,
+	}
+	clients, perClient := 8, 400
+	if quick {
+		clients, perClient = 2, 60
+	}
+
+	if url != "" {
+		for _, wl := range []string{"uniform", "zipf"} {
+			// The external graph is gnnserve's -dataset; the named bench
+			// dataset supplies the vertex-ID universe, which matches when
+			// both sides use their defaults.
+			d, err := dataset.Load(serveBenchDataset)
+			if err != nil {
+				return err
+			}
+			res, err := driveClients(url, wl, clients, perClient, d.Graph.NumVertices())
+			if err != nil {
+				return err
+			}
+			attachRemoteStats(url, &res)
+			report.Workloads = append(report.Workloads, res)
+		}
+		return writeServeReport(outPath, &report)
+	}
+
+	mdl, d, err := serveBenchModel(modelPath)
+	if err != nil {
+		return err
+	}
+	report.ModelKind = string(mdl.Cfg().Kind)
+	nV := d.Graph.NumVertices()
+	cacheRows := int(serveCacheRatio * float64(nV))
+	report.CacheRows = cacheRows
+
+	for _, wl := range []string{"uniform", "zipf"} {
+		// A fresh server (and fresh LRU plane) per workload, so the two
+		// hit rates are measured from identical cold starts.
+		c, err := cache.New(cache.LRU, cacheRows, d.Graph)
+		if err != nil {
+			return err
+		}
+		eng, err := infer.New(infer.Config{
+			Graph: d.Graph, Model: mdl, Seed: 11,
+			Source: cache.NewCachedSource(c, d.Graph),
+		})
+		if err != nil {
+			return err
+		}
+		srv, err := serve.New(serve.Config{Engine: eng})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		res, err := driveClients(ts.URL, wl, clients, perClient, nV)
+		st := srv.Snapshot()
+		ts.Close()
+		srv.Close()
+		if err != nil {
+			return err
+		}
+		res.Flushes = st.Flushes
+		res.MeanBatch = st.MeanBatch
+		res.HitRate = st.HitRate
+		res.TransferredBytes = st.TransferredBytes
+		report.Workloads = append(report.Workloads, res)
+	}
+
+	// The point of the LRU feature plane: skewed popularity must cache
+	// better than uniform at equal capacity. A bench run where it does
+	// not is measuring a bug, not a tradeoff.
+	uni, zpf := report.Workloads[0], report.Workloads[1]
+	if zpf.HitRate <= uni.HitRate {
+		return fmt.Errorf("zipf hit rate %.3f not above uniform %.3f at equal capacity (%d rows)",
+			zpf.HitRate, uni.HitRate, cacheRows)
+	}
+	return writeServeReport(outPath, &report)
+}
+
+// serveBenchModel loads path if it holds a model, otherwise trains the
+// bench's tiny model (one epoch, small SAGE) and saves it there.
+func serveBenchModel(path string) (*model.Model, *dataset.Dataset, error) {
+	d, err := dataset.Load(serveBenchDataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	if path == "" {
+		dir, err := os.MkdirTemp("", "servebench")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "model.gnav")
+	} else if m, err := model.Load(path); err == nil {
+		return m, d, nil
+	}
+	cfg := backend.Config{
+		Dataset:     serveBenchDataset,
+		Platform:    "rtx4090",
+		Sampler:     backend.SamplerSAGE,
+		BatchSize:   1024,
+		Fanouts:     []int{10, 5},
+		CachePolicy: cache.None,
+		Model:       model.SAGE,
+		Hidden:      32,
+		Layers:      2,
+		Epochs:      1,
+		LR:          0.01,
+		Seed:        11,
+	}
+	if _, err := backend.RunWith(cfg, backend.Options{EvalBatch: 512, SaveModelPath: path}); err != nil {
+		return nil, nil, err
+	}
+	m, err := model.Load(path)
+	return m, d, err
+}
+
+// driveClients runs the closed-loop fleet: each client owns a
+// deterministic RNG and fires perClient /predict requests of 1–3
+// vertices back to back, drawing targets uniformly or Zipf-skewed over
+// the vertex universe.
+func driveClients(baseURL, workload string, clients, perClient, numVertices int) (ServeWorkloadBench, error) {
+	res := ServeWorkloadBench{Workload: workload, Clients: clients}
+	type clientOut struct {
+		lat      []float64
+		vertices int64
+		errs     int64
+		firstErr error
+	}
+	outs := make([]clientOut, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			out := &outs[ci]
+			rng := rand.New(rand.NewSource(int64(1000*ci) + int64(len(workload))))
+			var zipf *rand.Zipf
+			if workload == "zipf" {
+				zipf = rand.NewZipf(rng, serveZipfSkew, 1, uint64(numVertices-1))
+			}
+			out.lat = make([]float64, 0, perClient)
+			for r := 0; r < perClient; r++ {
+				n := 1 + rng.Intn(3)
+				verts := make([]int32, n)
+				for i := range verts {
+					if zipf != nil {
+						verts[i] = int32(zipf.Uint64())
+					} else {
+						verts[i] = rng.Int31n(int32(numVertices))
+					}
+				}
+				body, _ := json.Marshal(map[string][]int32{"vertices": verts})
+				t0 := time.Now()
+				resp, err := http.Post(baseURL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					out.errs++
+					if out.firstErr == nil {
+						out.firstErr = err
+					}
+					continue
+				}
+				var pr struct {
+					Classes []int32 `json:"classes"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil || len(pr.Classes) != n {
+					out.errs++
+					if out.firstErr == nil {
+						out.firstErr = fmt.Errorf("request failed: status %d, decode %v, %d classes for %d vertices",
+							resp.StatusCode, decErr, len(pr.Classes), n)
+					}
+					continue
+				}
+				out.lat = append(out.lat, float64(time.Since(t0))/float64(time.Millisecond))
+				out.vertices += int64(n)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	res.DurationSec = time.Since(start).Seconds()
+
+	var all []float64
+	for i := range outs {
+		all = append(all, outs[i].lat...)
+		res.Vertices += outs[i].vertices
+		res.Errors += outs[i].errs
+		if outs[i].firstErr != nil {
+			return res, fmt.Errorf("serve bench %s client %d: %w", workload, i, outs[i].firstErr)
+		}
+	}
+	res.Requests = int64(len(all)) + res.Errors
+	if len(all) == 0 {
+		return res, fmt.Errorf("serve bench %s: no request succeeded", workload)
+	}
+	sort.Float64s(all)
+	at := func(q float64) float64 {
+		i := int(q*float64(len(all))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return all[i]
+	}
+	res.P50Ms, res.P99Ms = at(0.50), at(0.99)
+	if res.DurationSec > 0 {
+		res.RPS = float64(res.Requests) / res.DurationSec
+	}
+	return res, nil
+}
+
+// attachRemoteStats best-effort copies a running gnnserve's /stats
+// counters into the workload row (external mode only; the numbers are
+// cumulative across workloads there, unlike in-process runs).
+func attachRemoteStats(baseURL string, res *ServeWorkloadBench) {
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return
+	}
+	res.Flushes = st.Flushes
+	res.MeanBatch = st.MeanBatch
+	res.HitRate = st.HitRate
+	res.TransferredBytes = st.TransferredBytes
+}
+
+func writeServeReport(outPath string, report *ServeBenchReport) error {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve bench written to %s\n", outPath)
+	for _, w := range report.Workloads {
+		fmt.Printf("  %-8s %6d req  p50 %6.2fms  p99 %6.2fms  %7.1f req/s  hit %5.1f%%  %5.1f verts/flush\n",
+			w.Workload, w.Requests, w.P50Ms, w.P99Ms, w.RPS, 100*w.HitRate, w.MeanBatch)
+	}
+	return nil
+}

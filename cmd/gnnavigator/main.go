@@ -50,6 +50,7 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "snapshot the training state to this file every -checkpoint-every epochs (with -train; atomic, checksummed)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "epochs between checkpoint snapshots (with -checkpoint)")
 		resume    = flag.String("resume", "", "resume training from this checkpoint file (with -train); the resumed run is bitwise-identical to an uninterrupted one")
+		saveModel = flag.String("save-model", "", "write the trained model to this file after -train (atomic, checksummed; serve it with gnnserve)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole workflow (0 = none); calibration, exploration and training abort cleanly when it expires")
 	)
 	flag.Parse()
@@ -146,6 +147,7 @@ func main() {
 		Checkpoint:      *ckptPath,
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
+		SaveModel:       *saveModel,
 		// -procs also governs the Navigator's coarse fan-outs (calibration
 		// runs, explorer predictions); 0 inherits the tensor default set
 		// above, so GNNAV_PROCS flows through end to end.

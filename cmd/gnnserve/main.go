@@ -1,0 +1,153 @@
+// Command gnnserve serves a trained GNN model over HTTP: it loads a
+// GNAVMDL1 artifact written by `gnnavigator -train -save-model` (or
+// backend.Options.SaveModelPath), wires it to the shared inference
+// engine with an optional device feature cache, and answers
+//
+//	POST /predict {"vertices":[...]} → {"classes":[...]}
+//	GET  /stats                      → latency/throughput/cache counters
+//	GET  /healthz                    → liveness + model identity
+//
+// Concurrent requests are coalesced into minibatches (bounded wait,
+// bounded batch) so the engine amortizes its fixed per-batch cost the
+// same way training does.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/infer"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/serve"
+	"gnnavigator/internal/tensor"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model file to serve (from gnnavigator -save-model); required")
+		dsName    = flag.String("dataset", dataset.OgbnArxiv, "graph the model serves predictions for")
+		addr      = flag.String("addr", ":8080", "listen address")
+		policy    = flag.String("cache-policy", "lru", "feature cache policy (none,static,freq,fifo,lru)")
+		ratio     = flag.Float64("cache-ratio", 0.1, "feature cache capacity as a fraction of the graph's float32 feature bytes")
+		precision = flag.String("precision", "float32", "cached feature storage precision (float32, float16, int8)")
+		maxBatch  = flag.Int("max-batch", 256, "coalescer: flush when this many vertices are pending")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "coalescer: flush the oldest request after waiting this long")
+		reqLimit  = flag.Int("request-limit", 1024, "maximum vertices in a single /predict request")
+		batchSize = flag.Int("batch-size", 512, "engine minibatch size")
+		prefetch  = flag.Int("prefetch", 0, "engine pipeline depth (<= 0 inline; results identical at any depth)")
+		fanout    = flag.Int("fanout", 15, "neighbors sampled per layer (0 = whole neighborhood)")
+		seed      = flag.Int64("seed", 1, "sampling seed (predictions are a pure function of seed+targets)")
+		procs     = flag.Int("procs", 0, "tensor kernel workers (0 = GOMAXPROCS / $GNNAV_PROCS; 1 = serial)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("gnnserve: ")
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "gnnserve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *procs > 0 {
+		tensor.SetParallelism(*procs)
+	}
+
+	mdl, err := model.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := dataset.Load(*dsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Graph
+	if mdl.Cfg().InDim != g.FeatDim {
+		log.Fatalf("model %s reads %d-dim features, dataset %s has %d-dim", *modelPath, mdl.Cfg().InDim, *dsName, g.FeatDim)
+	}
+	if mdl.Cfg().OutDim != g.NumClasses {
+		log.Fatalf("model %s emits %d classes, dataset %s has %d", *modelPath, mdl.Cfg().OutDim, *dsName, g.NumClasses)
+	}
+
+	src, desc, err := buildSource(g, cache.Policy(*policy), *ratio, cache.Precision(*precision))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fanouts := make([]int, mdl.Cfg().Layers)
+	for i := range fanouts {
+		fanouts[i] = *fanout
+	}
+	eng, err := infer.New(infer.Config{
+		Graph:     g,
+		Model:     mdl,
+		Sampler:   &sample.NodeWise{Fanouts: fanouts},
+		Source:    src,
+		Seed:      *seed,
+		BatchSize: *batchSize,
+		Prefetch:  *prefetch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:      eng,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxVertices: *reqLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving %s model on %s (%d vertices, %d classes, %s) at %s",
+		mdl.Cfg().Kind, *dsName, g.NumVertices(), g.NumClasses, desc, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Print("stopped")
+}
+
+// buildSource wires the serving feature plane: nil (direct host
+// gathers) when the cache is disabled or sized to zero, a cached source
+// otherwise. The capacity follows the backend's byte-budget convention:
+// ratio of the graph's float32 feature bytes, so compact precisions
+// hold proportionally more rows.
+func buildSource(g *graph.Graph, policy cache.Policy, ratio float64, prec cache.Precision) (cache.FeatureSource, string, error) {
+	if !policy.Valid() || policy == cache.Opt {
+		return nil, "", fmt.Errorf("gnnserve: unsupported cache policy %q", policy)
+	}
+	if !prec.Valid() {
+		return nil, "", fmt.Errorf("gnnserve: unknown precision %q", prec)
+	}
+	capVertices := int(prec.EffectiveCacheRows(ratio, float64(g.NumVertices()), g.FeatDim))
+	if policy == cache.None || capVertices <= 0 {
+		return nil, "no cache", nil
+	}
+	c, err := cache.NewAtPrecision(policy, capVertices, g, prec)
+	if err != nil {
+		return nil, "", err
+	}
+	return cache.NewCachedSource(c, g), fmt.Sprintf("%s cache, %d rows, %s", policy, capVertices, prec), nil
+}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"testing"
 
 	"gnnavigator/internal/cache"
@@ -312,12 +313,22 @@ func TestTemplatesAcrossDatasets(t *testing.T) {
 }
 
 func TestEvaluateErrors(t *testing.T) {
-	m, err := model.New(model.Config{Kind: model.SAGE, InDim: 4, Hidden: 4, OutDim: 2, Layers: 1, Seed: 1})
+	d := dataset.MustLoad(dataset.OgbnArxiv)
+	m, err := model.New(model.Config{
+		Kind: model.SAGE, InDim: d.Graph.FeatDim, Hidden: 4,
+		OutDim: d.Graph.NumClasses, Layers: 1, Seed: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := dataset.MustLoad(dataset.OgbnArxiv)
-	if _, err := Evaluate(m, d.Graph, nil, 0, 1); err == nil {
+	if _, err := Evaluate(context.Background(), m, d.Graph, nil, 0, 1); err == nil {
 		t.Error("Evaluate with empty index accepted")
+	}
+	bad, err := model.New(model.Config{Kind: model.SAGE, InDim: 4, Hidden: 4, OutDim: 2, Layers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(context.Background(), bad, d.Graph, d.ValIdx, 0, 1); err == nil {
+		t.Error("Evaluate with mismatched model input width accepted")
 	}
 }

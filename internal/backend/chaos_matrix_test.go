@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/model"
 	"gnnavigator/internal/plan"
 	"gnnavigator/internal/tensor"
 )
@@ -15,8 +16,9 @@ import (
 // chaosTrial runs the full persistence + train + resume workflow,
 // passing through every injection point reachable from this package:
 // plan save/load, the pipeline's sample and gather stages, the tensor
-// worker pool, the cache shard update, and checkpoint save/load. It
-// returns the training run's Perf and the resumed run's Perf.
+// worker pool, the cache shard update, checkpoint save/load and model
+// save/load. It returns the training run's Perf and the resumed run's
+// Perf.
 func chaosTrial(dir string, cfg Config) (*Perf, *Perf, error) {
 	p, err := CompilePlan(cfg)
 	if err != nil {
@@ -31,8 +33,12 @@ func chaosTrial(dir string, cfg Config) (*Perf, *Perf, error) {
 		return nil, nil, err
 	}
 	ckpt := filepath.Join(dir, "run.ckpt")
-	p1, err := RunWith(cfg, Options{Plan: loaded, CheckpointPath: ckpt})
+	mdlPath := filepath.Join(dir, "run.gnav")
+	p1, err := RunWith(cfg, Options{Plan: loaded, CheckpointPath: ckpt, SaveModelPath: mdlPath})
 	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := model.Load(mdlPath); err != nil {
 		return nil, nil, err
 	}
 	// Resume from the final snapshot: a pure fast-forward that must
@@ -77,6 +83,12 @@ func TestChaosMatrixEveryPoint(t *testing.T) {
 			// estimator/probe sits above this package (the estimator
 			// imports backend); its chaos coverage lives in package
 			// estimator.
+			continue
+		}
+		if pt == faultinject.ServeDecode || pt == faultinject.ServeFlush {
+			// The serving points sit outside the training workflow; their
+			// chaos coverage lives in packages serve (TestChaosServeDecode)
+			// and infer (TestChaosServeFlush).
 			continue
 		}
 		kinds := []faultinject.Kind{faultinject.Error, faultinject.Delay}

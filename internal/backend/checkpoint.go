@@ -1,17 +1,14 @@
 package backend
 
 import (
-	"bufio"
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc64"
 	"io"
-	"os"
 
 	"gnnavigator/internal/faultinject"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
+	"gnnavigator/internal/safefile"
 )
 
 // Checkpoint persistence for RunWith: a periodic atomic snapshot of
@@ -27,9 +24,10 @@ import (
 // bitwise-identical to a never-interrupted one.
 //
 // Format: magic "GNAVCKP1", body, CRC-64/ECMA of the body as the
-// trailing 8 bytes (little-endian) — the same footer discipline as the
-// GNAVPLN2 plan format. Files are written atomically (tmp+rename) and a
-// failed write or rename leaves no *.tmp behind.
+// trailing 8 bytes (little-endian) — the footer discipline shared with
+// the plan and model formats via internal/safefile. Files are written
+// atomically (tmp+rename) and a failed write or rename leaves no *.tmp
+// behind.
 
 var ckptMagic = [8]byte{'G', 'N', 'A', 'V', 'C', 'K', 'P', '1'}
 
@@ -70,8 +68,6 @@ func restoreCheckpoint(mdl *model.Model, opt *nn.Adam, ck *Checkpoint) error {
 	return opt.SetState(params, ck.Adam)
 }
 
-var ckptCRC = crc64.MakeTable(crc64.ECMA)
-
 // Checkpoint is one resumable training snapshot.
 type Checkpoint struct {
 	// Fingerprint identifies the run configuration the snapshot belongs
@@ -102,37 +98,9 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 	payload := body.Bytes()
 	// Checksum the intact body; the chaos Mutate hook corrupts after, so
 	// the load side must catch it.
-	sum := crc64.Checksum(payload, ckptCRC)
+	sum := safefile.Checksum(payload)
 	faultinject.Mutate(faultinject.CheckpointSave, payload)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	werr := func() error {
-		w := bufio.NewWriter(f)
-		if _, err := w.Write(ckptMagic[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
-			return err
-		}
-		return w.Flush()
-	}()
-	if werr != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("backend: save checkpoint %s: %w", path, werr)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("backend: save checkpoint %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := safefile.Write(path, ckptMagic, payload, sum); err != nil {
 		return fmt.Errorf("backend: save checkpoint %s: %w", path, err)
 	}
 	return nil
@@ -143,22 +111,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err := faultinject.Fire(faultinject.CheckpointLoad); err != nil {
 		return nil, fmt.Errorf("backend: load checkpoint %s: %w", path, err)
 	}
-	data, err := os.ReadFile(path)
+	payload, err := safefile.Read(path, ckptMagic)
 	if err != nil {
-		return nil, err
-	}
-	if len(data) < len(ckptMagic)+8 {
-		return nil, fmt.Errorf("backend: load checkpoint %s: truncated (%d bytes)", path, len(data))
-	}
-	var magic [8]byte
-	copy(magic[:], data)
-	if magic != ckptMagic {
-		return nil, fmt.Errorf("backend: load checkpoint %s: bad magic %q", path, magic[:])
-	}
-	payload, footer := data[8:len(data)-8], data[len(data)-8:]
-	want := binary.LittleEndian.Uint64(footer)
-	if got := crc64.Checksum(payload, ckptCRC); got != want {
-		return nil, fmt.Errorf("backend: load checkpoint %s: checksum mismatch: file says %016x, body hashes to %016x (corrupt or truncated)", path, want, got)
+		return nil, fmt.Errorf("backend: load checkpoint %s: %w", path, err)
 	}
 	br := bytes.NewReader(payload)
 	ck, err := readCheckpointBody(br)
@@ -172,24 +127,24 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 }
 
 func writeCheckpointBody(w io.Writer, ck *Checkpoint) error {
-	if err := ckWriteString(w, ck.Fingerprint); err != nil {
+	if err := safefile.WriteString(w, ck.Fingerprint); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, int64(ck.Epochs)); err != nil {
+	if err := safefile.WriteInt(w, int64(ck.Epochs)); err != nil {
 		return err
 	}
-	if err := ckWriteFloats(w, ck.AccHistory); err != nil {
+	if err := safefile.WriteFloats(w, ck.AccHistory); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, int64(len(ck.Params))); err != nil {
+	if err := safefile.WriteInt(w, int64(len(ck.Params))); err != nil {
 		return err
 	}
 	for _, p := range ck.Params {
-		if err := ckWriteFloats(w, p); err != nil {
+		if err := safefile.WriteFloats(w, p); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, int64(ck.Adam.T)); err != nil {
+	if err := safefile.WriteInt(w, int64(ck.Adam.T)); err != nil {
 		return err
 	}
 	if len(ck.Adam.M) != len(ck.Params) || len(ck.Adam.V) != len(ck.Params) {
@@ -197,10 +152,10 @@ func writeCheckpointBody(w io.Writer, ck *Checkpoint) error {
 			len(ck.Adam.M), len(ck.Adam.V), len(ck.Params))
 	}
 	for i := range ck.Params {
-		if err := ckWriteFloats(w, ck.Adam.M[i]); err != nil {
+		if err := safefile.WriteFloats(w, ck.Adam.M[i]); err != nil {
 			return err
 		}
-		if err := ckWriteFloats(w, ck.Adam.V[i]); err != nil {
+		if err := safefile.WriteFloats(w, ck.Adam.V[i]); err != nil {
 			return err
 		}
 	}
@@ -210,22 +165,22 @@ func writeCheckpointBody(w io.Writer, ck *Checkpoint) error {
 func readCheckpointBody(r io.Reader) (*Checkpoint, error) {
 	ck := &Checkpoint{}
 	var err error
-	if ck.Fingerprint, err = ckReadString(r); err != nil {
+	if ck.Fingerprint, err = safefile.ReadString(r); err != nil {
 		return nil, err
 	}
-	var epochs int64
-	if err := binary.Read(r, binary.LittleEndian, &epochs); err != nil {
+	epochs, err := safefile.ReadInt(r)
+	if err != nil {
 		return nil, err
 	}
 	if epochs < 0 || epochs > 1<<20 {
 		return nil, fmt.Errorf("corrupt epoch count %d", epochs)
 	}
 	ck.Epochs = int(epochs)
-	if ck.AccHistory, err = ckReadFloats(r); err != nil {
+	if ck.AccHistory, err = safefile.ReadFloats(r); err != nil {
 		return nil, err
 	}
-	var nparams int64
-	if err := binary.Read(r, binary.LittleEndian, &nparams); err != nil {
+	nparams, err := safefile.ReadInt(r)
+	if err != nil {
 		return nil, err
 	}
 	if nparams < 0 || nparams > 1<<20 {
@@ -233,75 +188,24 @@ func readCheckpointBody(r io.Reader) (*Checkpoint, error) {
 	}
 	ck.Params = make([][]float64, nparams)
 	for i := range ck.Params {
-		if ck.Params[i], err = ckReadFloats(r); err != nil {
+		if ck.Params[i], err = safefile.ReadFloats(r); err != nil {
 			return nil, err
 		}
 	}
-	var t int64
-	if err := binary.Read(r, binary.LittleEndian, &t); err != nil {
+	t, err := safefile.ReadInt(r)
+	if err != nil {
 		return nil, err
 	}
 	ck.Adam.T = int(t)
 	ck.Adam.M = make([][]float64, nparams)
 	ck.Adam.V = make([][]float64, nparams)
 	for i := 0; i < int(nparams); i++ {
-		if ck.Adam.M[i], err = ckReadFloats(r); err != nil {
+		if ck.Adam.M[i], err = safefile.ReadFloats(r); err != nil {
 			return nil, err
 		}
-		if ck.Adam.V[i], err = ckReadFloats(r); err != nil {
+		if ck.Adam.V[i], err = safefile.ReadFloats(r); err != nil {
 			return nil, err
 		}
 	}
 	return ck, nil
-}
-
-func ckWriteString(w io.Writer, s string) error {
-	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, s)
-	return err
-}
-
-func ckReadString(r io.Reader) (string, error) {
-	var n int64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if n < 0 || n > 1<<20 {
-		return "", fmt.Errorf("corrupt string length %d", n)
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
-
-// ckWriteFloats writes a length-prefixed []float64; nil and empty both
-// round-trip as length 0 → nil, which is what AdamState uses to mean
-// "untouched moments".
-func ckWriteFloats(w io.Writer, arr []float64) error {
-	if err := binary.Write(w, binary.LittleEndian, int64(len(arr))); err != nil {
-		return err
-	}
-	return binary.Write(w, binary.LittleEndian, arr)
-}
-
-func ckReadFloats(r io.Reader) ([]float64, error) {
-	var n int64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if n < 0 || n > 1<<32 {
-		return nil, fmt.Errorf("corrupt array length %d", n)
-	}
-	if n == 0 {
-		return nil, nil
-	}
-	arr := make([]float64, n)
-	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
-		return nil, err
-	}
-	return arr, nil
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -97,12 +98,12 @@ func TestEvaluatePrefetchEqual(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := EvaluateWith(m, d.Graph, d.ValIdx, 1200, 7, 0)
+	serial, err := EvaluateWith(context.Background(), m, d.Graph, d.ValIdx, 1200, 7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, depth := range []int{1, 3} {
-		got, err := EvaluateWith(m, d.Graph, d.ValIdx, 1200, 7, depth)
+		got, err := EvaluateWith(context.Background(), m, d.Graph, d.ValIdx, 1200, 7, depth)
 		if err != nil {
 			t.Fatal(err)
 		}

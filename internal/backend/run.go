@@ -10,6 +10,7 @@ import (
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/hw"
+	"gnnavigator/internal/infer"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
 	"gnnavigator/internal/pipeline"
@@ -115,6 +116,12 @@ type Options struct {
 	// epochs bitwise-identical to a never-interrupted run (all Perf
 	// fields except wall-clock WallSec). Incompatible with SkipTraining.
 	ResumeFrom string
+	// SaveModelPath, when set, writes the trained model (config +
+	// parameters, GNAVMDL1 format) to this file after the run completes
+	// — the artifact cmd/gnnserve loads. Atomic (tmp+rename, CRC-64
+	// footer), like checkpoints. Incompatible with SkipTraining, which
+	// trains nothing worth serving.
+	SaveModelPath string
 }
 
 // prefetchDepth resolves the Options.Prefetch encoding to a concrete
@@ -156,6 +163,9 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	}
 	if opts.SkipTraining && (opts.ResumeFrom != "" || opts.CheckpointPath != "") {
 		return nil, fmt.Errorf("backend: checkpoint/resume requires training (SkipTraining is set)")
+	}
+	if opts.SkipTraining && opts.SaveModelPath != "" {
+		return nil, fmt.Errorf("backend: saving a model requires training (SkipTraining is set)")
 	}
 	// Resume: the checkpoint pins the run identity and the training state;
 	// everything else below reconstructs by replay.
@@ -428,11 +438,17 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		}
 		return nil
 	}
-	// One eval sampler for the whole run: per-epoch validation reuses its
-	// frontier tables and pick scratch instead of regrowing them from
-	// scratch every epoch. Each Evaluate call is a fresh pipeline run, so
-	// the single-producer contract still holds.
-	evalSmp := evalSampler(cfg.Layers)
+	// One inference engine for the whole run: per-epoch validation reuses
+	// its sampler's frontier tables and pick scratch instead of regrowing
+	// them every epoch, and shares the run's workspace arena (the engine
+	// only attaches its own when the model has none). Each Accuracy call
+	// is a fresh pipeline run, so the single-producer contract holds.
+	evalEng, err := infer.New(infer.Config{
+		Graph: g, Model: mdl, Seed: cfg.Seed + 29, Prefetch: prefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
 	ckptEvery := opts.CheckpointEvery
 	if ckptEvery <= 0 {
 		ckptEvery = 1
@@ -452,7 +468,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			perf.Accuracy = acc
 			return nil
 		}
-		acc, err := evaluateWith(opts.Ctx, mdl, g, ds.ValIdx, opts.EvalBatch, cfg.Seed+29, prefetch, evalSmp)
+		acc, err := evalEng.Accuracy(opts.Ctx, ds.ValIdx, opts.EvalBatch)
 		if err != nil {
 			return err
 		}
@@ -487,6 +503,12 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	}, consume, epochEnd)
 	if err != nil {
 		return nil, err
+	}
+
+	if opts.SaveModelPath != "" {
+		if err := model.Save(opts.SaveModelPath, mdl); err != nil {
+			return nil, err
+		}
 	}
 
 	// Aggregate timing/volumes.
@@ -664,63 +686,21 @@ func paramsAtFullScale(m *model.Model, ds *dataset.Dataset, cfg Config) int {
 	return p + max(delta, 0)
 }
 
-// evalSampler builds the deterministic node-wise sampler Evaluate uses:
-// generous fanout 15 per layer. Callers that evaluate repeatedly (the
-// per-epoch validation in RunWith) hold one instance so its frontier
-// tables and pick scratch persist across epochs.
-func evalSampler(layers int) *sample.NodeWise {
-	fanouts := make([]int, layers)
-	for i := range fanouts {
-		fanouts[i] = 15
-	}
-	return &sample.NodeWise{Fanouts: fanouts}
-}
-
 // Evaluate measures accuracy of mdl on the given vertices using a
-// deterministic node-wise sampler with generous fanouts, at the
-// process-wide default prefetch depth.
-func Evaluate(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64) (float64, error) {
-	return EvaluateWith(mdl, g, idx, limit, seed, pipeline.DefaultPrefetch())
+// deterministic node-wise sampler with generous fanouts — the shared
+// evaluation loop in internal/infer — at the process-wide default
+// prefetch depth. A non-nil ctx cancels the run at batch granularity.
+func Evaluate(ctx context.Context, mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64) (float64, error) {
+	return EvaluateWith(ctx, mdl, g, idx, limit, seed, pipeline.DefaultPrefetch())
 }
 
-// EvaluateWith is Evaluate on the pipelined engine at an explicit
-// prefetch depth: sampling and feature gather for chunk i+1 overlap the
-// forward pass for chunk i. Results are bitwise-identical at any depth.
-func EvaluateWith(mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
-	return evaluateWith(nil, mdl, g, idx, limit, seed, prefetch, evalSampler(mdl.Cfg().Layers))
-}
-
-func evaluateWith(ctx context.Context, mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int, smp *sample.NodeWise) (float64, error) {
-	if len(idx) == 0 {
-		return 0, fmt.Errorf("backend: empty evaluation set")
-	}
-	if limit > 0 && limit < len(idx) {
-		idx = idx[:limit]
-	}
-	ws := mdl.Workspace()
-	var correct, total int
-	err := pipeline.Run(pipeline.Config{
-		Graph:     g,
-		Sampler:   smp,
-		Seed:      seed,
-		Epochs:    1,
-		BatchSize: 512,
-		Targets:   idx,
-		Gather:    true,
-		Prefetch:  prefetch,
-		Ctx:       ctx,
-	}, func(b *pipeline.Batch) error {
-		logits, err := mdl.Forward(b.MB, b.Feats, false)
-		if err != nil {
-			return err
-		}
-		correct += int(nn.Accuracy(logits, b.Labels) * float64(len(b.Labels)))
-		total += len(b.Labels)
-		ws.ReleaseAll()
-		return nil
-	}, nil)
+// EvaluateWith is Evaluate at an explicit prefetch depth: sampling and
+// feature gather for chunk i+1 overlap the forward pass for chunk i.
+// Results are bitwise-identical at any depth.
+func EvaluateWith(ctx context.Context, mdl *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
+	eng, err := infer.New(infer.Config{Graph: g, Model: mdl, Seed: seed, Prefetch: prefetch})
 	if err != nil {
 		return 0, err
 	}
-	return float64(correct) / float64(total), nil
+	return eng.Accuracy(ctx, idx, limit)
 }

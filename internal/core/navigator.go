@@ -104,6 +104,12 @@ type Input struct {
 	CheckpointEvery int
 	Resume          string
 
+	// SaveModel, when non-empty, writes the trained model (config +
+	// parameters, GNAVMDL1) to this path after Train completes — the
+	// artifact cmd/gnnserve loads. The gnnavigator -save-model flag maps
+	// onto this.
+	SaveModel string
+
 	Seed int64
 }
 
@@ -314,6 +320,7 @@ func (n *Navigator) Train(cfg backend.Config) (*backend.Perf, error) {
 		CheckpointPath:  n.in.Checkpoint,
 		CheckpointEvery: n.in.CheckpointEvery,
 		ResumeFrom:      n.in.Resume,
+		SaveModelPath:   n.in.SaveModel,
 	}
 	if n.in.LoadPlan != "" {
 		p, err := plan.LoadFile(n.in.LoadPlan)

@@ -1,7 +1,8 @@
 // Package faultinject provides named, deterministic fault-injection
 // points for the chaos test suite. A point is a call site in a
 // production path (the pipeline's stages, the tensor worker pool, the
-// cache's update path, plan IO, checkpoint IO, estimator probe runs)
+// cache's update path, plan/checkpoint/model IO, estimator probe runs,
+// the serving path)
 // that consults this package's registry on every pass: disarmed — the
 // permanent production state — the consultation is a single atomic load
 // and the site behaves as if the call were compiled out; armed, the
@@ -61,12 +62,25 @@ const (
 	// run in estimator.CollectWith — the site the bounded-backoff retry
 	// policy wraps.
 	EstimatorProbe Point = "estimator/probe"
+	// ModelSave fires in model.Save before the file is written; Kind
+	// Corrupt bit-flips the serialized payload, which the CRC-64 footer
+	// must catch on load.
+	ModelSave Point = "model/save"
+	// ModelLoad fires in model.Load before the file is read.
+	ModelLoad Point = "model/load"
+	// ServeDecode fires in the serving handler before a /predict request
+	// body is decoded (internal/serve).
+	ServeDecode Point = "serve/decode"
+	// ServeFlush fires in the request coalescer before a coalesced batch
+	// is flushed through the inference engine (internal/infer).
+	ServeFlush Point = "serve/flush"
 )
 
 // Points lists the full injection-point catalog.
 func Points() []Point {
 	return []Point{PipelineSample, PipelineGather, TensorWorker, CacheShard,
-		PlanSave, PlanLoad, CheckpointSave, CheckpointLoad, EstimatorProbe}
+		PlanSave, PlanLoad, CheckpointSave, CheckpointLoad, EstimatorProbe,
+		ModelSave, ModelLoad, ServeDecode, ServeFlush}
 }
 
 // Kind selects what an armed point does when its schedule fires.

@@ -1,0 +1,210 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnnavigator/internal/faultinject"
+)
+
+// Request coalescing: the serving layer's answer to per-request batches
+// being tiny. A GNN forward pass over 1 target costs nearly as much
+// fixed overhead as one over 100, and the feature plane amortizes far
+// better over a wide gather — so concurrent requests are merged into
+// one engine Predict per flush. A flush happens when the pending batch
+// reaches MaxBatch vertices or the oldest request has waited MaxWait,
+// whichever comes first: bounded wait, bounded batch.
+
+// ErrCoalescerClosed is returned by Predict after Close.
+var ErrCoalescerClosed = errors.New("infer: coalescer closed")
+
+// Defaults for CoalescerConfig's zero values.
+const (
+	defaultMaxBatch = 256
+	defaultMaxWait  = 2 * time.Millisecond
+)
+
+// CoalescerConfig tunes the batching knobs.
+type CoalescerConfig struct {
+	// MaxBatch flushes as soon as the pending requests hold this many
+	// target vertices (default 256). A single request larger than
+	// MaxBatch still flushes whole — the engine chunks it internally.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch flushes anyway (default 2ms).
+	MaxWait time.Duration
+}
+
+type coalReq struct {
+	targets []int32
+	resp    chan coalResp
+}
+
+type coalResp struct {
+	classes []int32
+	err     error
+}
+
+// Coalescer merges concurrent Predict calls into minibatched engine
+// runs. Safe for concurrent use.
+type Coalescer struct {
+	eng      *Engine
+	maxBatch int
+	maxWait  time.Duration
+
+	reqCh     chan *coalReq
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	flushes      atomic.Int64
+	flushedVerts atomic.Int64
+}
+
+// NewCoalescer starts the dispatcher goroutine; Close stops it.
+func NewCoalescer(eng *Engine, cfg CoalescerConfig) *Coalescer {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = defaultMaxWait
+	}
+	c := &Coalescer{
+		eng:      eng,
+		maxBatch: cfg.MaxBatch,
+		maxWait:  cfg.MaxWait,
+		reqCh:    make(chan *coalReq),
+		done:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.dispatch()
+	return c
+}
+
+// Predict enqueues targets, waits for the flush that carries them, and
+// returns one class per target (in target order). The context is
+// honored end to end at request granularity: a caller whose ctx expires
+// while queued or in flight unblocks immediately with ctx.Err().
+func (c *Coalescer) Predict(ctx context.Context, targets []int32) ([]int32, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("infer: empty target set")
+	}
+	r := &coalReq{targets: targets, resp: make(chan coalResp, 1)}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case c.reqCh <- r:
+	case <-ctxDone:
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, ErrCoalescerClosed
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.classes, resp.err
+	case <-ctxDone:
+		// The flush still answers into the buffered resp channel; the
+		// result is simply abandoned.
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, ErrCoalescerClosed
+	}
+}
+
+// Flushes reports how many coalesced batches have been flushed.
+func (c *Coalescer) Flushes() int64 { return c.flushes.Load() }
+
+// MeanBatch reports the mean target vertices per flush.
+func (c *Coalescer) MeanBatch() float64 {
+	f := c.flushes.Load()
+	if f == 0 {
+		return 0
+	}
+	return float64(c.flushedVerts.Load()) / float64(f)
+}
+
+// Close stops the dispatcher. In-flight flushes complete (their callers
+// get results); requests still queued when the dispatcher exits get
+// ErrCoalescerClosed via Predict's done case.
+func (c *Coalescer) Close() {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// dispatch is the single flusher goroutine: take one request, gather
+// company until the batch fills or the wait expires, flush, repeat.
+func (c *Coalescer) dispatch() {
+	defer c.wg.Done()
+	timer := time.NewTimer(c.maxWait)
+	defer timer.Stop()
+	for {
+		var first *coalReq
+		select {
+		case first = <-c.reqCh:
+		case <-c.done:
+			return
+		}
+		batch := []*coalReq{first}
+		verts := len(first.targets)
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.maxWait)
+	fill:
+		for verts < c.maxBatch {
+			select {
+			case r := <-c.reqCh:
+				batch = append(batch, r)
+				verts += len(r.targets)
+			case <-timer.C:
+				break fill
+			case <-c.done:
+				c.flush(batch, verts)
+				return
+			}
+		}
+		c.flush(batch, verts)
+	}
+}
+
+// flush runs one coalesced engine Predict and scatters the per-vertex
+// classes back to each request. Cross-request duplicate targets are
+// collapsed inside Engine.Predict, so the union is passed as-is and the
+// returned classes align with it positionally.
+func (c *Coalescer) flush(batch []*coalReq, verts int) {
+	c.flushes.Add(1)
+	c.flushedVerts.Add(int64(verts))
+	fail := func(err error) {
+		for _, r := range batch {
+			r.resp <- coalResp{err: err}
+		}
+	}
+	if err := faultinject.Fire(faultinject.ServeFlush); err != nil {
+		fail(fmt.Errorf("infer: flush: %w", err))
+		return
+	}
+	union := make([]int32, 0, verts)
+	for _, r := range batch {
+		union = append(union, r.targets...)
+	}
+	pred, err := c.eng.Predict(context.Background(), union)
+	if err != nil {
+		fail(err)
+		return
+	}
+	off := 0
+	for _, r := range batch {
+		classes := append([]int32(nil), pred.Classes[off:off+len(r.targets)]...)
+		off += len(r.targets)
+		r.resp <- coalResp{classes: classes}
+	}
+}

@@ -1,0 +1,439 @@
+package infer_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/infer"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/pipeline"
+	"gnnavigator/internal/sample"
+	"gnnavigator/internal/tensor"
+)
+
+func evalFixture(t *testing.T) (*dataset.Dataset, *model.Model) {
+	t.Helper()
+	d, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(model.Config{
+		Kind: model.SAGE, InDim: d.Graph.FeatDim, Hidden: 16,
+		OutDim: d.Graph.NumClasses, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+// frozenEvaluate is a verbatim copy of backend's pre-extraction
+// evaluateWith loop (the code infer.Engine.Accuracy replaced), kept here
+// as the reference the engine is pinned against: same sampler, same
+// batch size, same per-batch accuracy truncation.
+func frozenEvaluate(m *model.Model, g *graph.Graph, idx []int32, limit int, seed int64, prefetch int) (float64, error) {
+	if limit > 0 && limit < len(idx) {
+		idx = idx[:limit]
+	}
+	fanouts := make([]int, m.Cfg().Layers)
+	for i := range fanouts {
+		fanouts[i] = 15
+	}
+	if m.Workspace() == nil {
+		m.SetWorkspace(tensor.NewWorkspace())
+	}
+	ws := m.Workspace()
+	var correct, total int
+	err := pipeline.Run(pipeline.Config{
+		Graph:     g,
+		Sampler:   &sample.NodeWise{Fanouts: fanouts},
+		Seed:      seed,
+		Epochs:    1,
+		BatchSize: 512,
+		Targets:   idx,
+		Gather:    true,
+		Prefetch:  prefetch,
+	}, func(b *pipeline.Batch) error {
+		logits, err := m.Forward(b.MB, b.Feats, false)
+		if err != nil {
+			return err
+		}
+		correct += int(nn.Accuracy(logits, b.Labels) * float64(len(b.Labels)))
+		total += len(b.Labels)
+		ws.ReleaseAll()
+		return nil
+	}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// TestAccuracyMatchesFrozenEvaluate is the extraction's acceptance test:
+// Engine.Accuracy must be bitwise-identical to the loop it replaced, at
+// every prefetch depth, and stable across repeated calls on one engine
+// (warm sampler scratch must not leak into results). Run under -race in
+// CI.
+func TestAccuracyMatchesFrozenEvaluate(t *testing.T) {
+	d, m := evalFixture(t)
+	want, err := frozenEvaluate(m, d.Graph, d.ValIdx, 1200, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{0, 1, 4} {
+		eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 7, Prefetch: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for call := 0; call < 2; call++ {
+			got, err := eng.Accuracy(context.Background(), d.ValIdx, 1200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("prefetch %d call %d: accuracy %v, frozen reference %v (not bitwise)",
+					depth, call, got, want)
+			}
+		}
+	}
+	if _, err := (&infer.Engine{}).Accuracy(context.Background(), nil, 0); err == nil {
+		t.Error("empty evaluation set accepted")
+	}
+}
+
+// TestPredictDeterministicAcrossPrefetch pins Predict's outputs — every
+// class and every logit — across prefetch depths and repeated calls.
+func TestPredictDeterministicAcrossPrefetch(t *testing.T) {
+	d, m := evalFixture(t)
+	targets := d.ValIdx[:700] // spans two 512-vertex pipeline batches
+	eng0, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng0.Predict(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Classes) != len(targets) || base.Logits.Rows != len(targets) {
+		t.Fatalf("got %d classes / %d logit rows for %d targets",
+			len(base.Classes), base.Logits.Rows, len(targets))
+	}
+	if base.Stats.Batches != 2 || base.Stats.SampledVertices == 0 {
+		t.Errorf("implausible stats: %+v", base.Stats)
+	}
+	for _, depth := range []int{0, 1, 4} {
+		eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3, Prefetch: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Predict(context.Background(), targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range targets {
+			if got.Classes[i] != base.Classes[i] {
+				t.Fatalf("prefetch %d: class[%d] = %d, want %d", depth, i, got.Classes[i], base.Classes[i])
+			}
+			for j, v := range got.Logits.Row(i) {
+				if math.Float64bits(v) != math.Float64bits(base.Logits.Row(i)[j]) {
+					t.Fatalf("prefetch %d: logits[%d][%d] = %v, want %v (not bitwise)",
+						depth, i, j, v, base.Logits.Row(i)[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictAlignsDuplicates: the sampler collapses repeated seed
+// vertices, so Predict dedups and scatters — every duplicate must get
+// exactly its vertex's result, in the caller's order.
+func TestPredictAlignsDuplicates(t *testing.T) {
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := []int32{5, 9, 11}
+	base, err := eng.Predict(context.Background(), uniq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := []int32{5, 9, 5, 11, 9, 5}
+	got, err := eng.Predict(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := map[int32]int{5: 0, 9: 1, 11: 2}
+	for i, v := range dup {
+		u := at[v]
+		if got.Classes[i] != base.Classes[u] {
+			t.Errorf("target %d (vertex %d): class %d, want %d", i, v, got.Classes[i], base.Classes[u])
+		}
+		for j, x := range got.Logits.Row(i) {
+			if math.Float64bits(x) != math.Float64bits(base.Logits.Row(u)[j]) {
+				t.Fatalf("target %d (vertex %d): logits diverge from unique run", i, v)
+			}
+		}
+	}
+	// Classes must agree with the returned logits.
+	for i := range dup {
+		best, arg := math.Inf(-1), 0
+		for j, x := range got.Logits.Row(i) {
+			if x > best {
+				best, arg = x, j
+			}
+		}
+		if int(got.Classes[i]) != arg {
+			t.Errorf("target %d: class %d but logits argmax %d", i, got.Classes[i], arg)
+		}
+	}
+}
+
+// TestPredictMatchesCachedSource: routing gathers through an LRU feature
+// plane must not change a single output bit (features are float32 at
+// rest in both routes), while the plane's transfer accounting shows up
+// in Stats.
+func TestPredictMatchesCachedSource(t *testing.T) {
+	d, m := evalFixture(t)
+	targets := d.ValIdx[:600]
+	direct, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Predict(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.LRU, d.Graph.NumVertices()/10, d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := infer.New(infer.Config{
+		Graph: d.Graph, Model: m, Seed: 3, Source: cache.NewCachedSource(c, d.Graph),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Predict(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range targets {
+		if got.Classes[i] != want.Classes[i] {
+			t.Fatalf("class[%d] = %d through cache, %d direct", i, got.Classes[i], want.Classes[i])
+		}
+		for j, v := range got.Logits.Row(i) {
+			if math.Float64bits(v) != math.Float64bits(want.Logits.Row(i)[j]) {
+				t.Fatalf("logits[%d][%d] differ through cache (not bitwise)", i, j)
+			}
+		}
+	}
+	if got.Stats.Miss == 0 || got.Stats.TransferBytes == 0 {
+		t.Errorf("cached run recorded no transfers: %+v", got.Stats)
+	}
+	if want.Stats.Miss != 0 || want.Stats.CacheOps != 0 {
+		t.Errorf("direct run recorded cache activity: %+v", want.Stats)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	d, m := evalFixture(t)
+	if _, err := infer.New(infer.Config{Model: m}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := infer.New(infer.Config{Graph: d.Graph}); err == nil {
+		t.Error("nil model accepted")
+	}
+	bad, err := model.New(model.Config{
+		Kind: model.SAGE, InDim: d.Graph.FeatDim + 1, Hidden: 4,
+		OutDim: d.Graph.NumClasses, Layers: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := infer.New(infer.Config{Graph: d.Graph, Model: bad}); err == nil {
+		t.Error("input-width mismatch accepted")
+	}
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Predict(context.Background(), nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := eng.Predict(context.Background(), []int32{int32(d.Graph.NumVertices())}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := eng.Predict(context.Background(), []int32{-1}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestPredictHonorsContext(t *testing.T) {
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Predict(ctx, d.ValIdx[:600]); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Predict returned %v, want context.Canceled", err)
+	}
+	if _, err := eng.Accuracy(ctx, d.ValIdx, 600); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Accuracy returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCoalescerMergesConcurrentRequests: concurrent callers must each
+// get exactly the answer a solo Predict would give them, and with a
+// generous window the dispatcher should need fewer flushes than there
+// were requests. Fanout-limited sampling draws different neighborhoods
+// depending on who shares the batch, so per-request equality is pinned
+// with a full-neighborhood sampler (fanout <= 0 takes every neighbor
+// and consumes no RNG): each target's logits are then a function of the
+// target alone, whatever batch it rides in.
+func TestCoalescerMergesConcurrentRequests(t *testing.T) {
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{
+		Graph: d.Graph, Model: m, Seed: 3,
+		Sampler: &sample.NodeWise{Fanouts: []int{0, 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	want := make([][]int32, clients)
+	reqs := make([][]int32, clients)
+	for i := range reqs {
+		reqs[i] = []int32{int32(3 * i), int32(3*i + 1), int32(3*i + 2)}
+		p, err := eng.Predict(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p.Classes
+	}
+	col := infer.NewCoalescer(eng, infer.CoalescerConfig{MaxBatch: 4096, MaxWait: 300 * time.Millisecond})
+	defer col.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	got := make([][]int32, clients)
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i], errs[i] = col.Predict(context.Background(), reqs[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("client %d target %d: class %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if f := col.Flushes(); f >= clients {
+		t.Errorf("nothing coalesced: %d flushes for %d concurrent requests", f, clients)
+	}
+	if mb := col.MeanBatch(); mb < 3 {
+		t.Errorf("mean batch %v, want >= a single request's 3 vertices", mb)
+	}
+}
+
+// TestCoalescerSplitsAtMaxBatch: with a tiny vertex budget the same
+// concurrent burst must split across several flushes — and still answer
+// every request correctly.
+func TestCoalescerSplitsAtMaxBatch(t *testing.T) {
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := infer.NewCoalescer(eng, infer.CoalescerConfig{MaxBatch: 4, MaxWait: 300 * time.Millisecond})
+	defer col.Close()
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			targets := []int32{int32(3 * i), int32(3*i + 1), int32(3*i + 2)}
+			classes, err := col.Predict(context.Background(), targets)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if len(classes) != len(targets) {
+				t.Errorf("client %d: %d classes for %d targets", i, len(classes), len(targets))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if f := col.Flushes(); f < 2 {
+		t.Errorf("MaxBatch 4 never split an 18-vertex burst: %d flushes", f)
+	}
+}
+
+func TestCoalescerCloseAndContext(t *testing.T) {
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := infer.NewCoalescer(eng, infer.CoalescerConfig{})
+	if _, err := col.Predict(context.Background(), nil); err == nil {
+		t.Error("empty request accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := col.Predict(ctx, []int32{1}); err == nil {
+		t.Error("cancelled request returned no error")
+	}
+	col.Close()
+	col.Close() // idempotent
+	if _, err := col.Predict(context.Background(), []int32{1}); !errors.Is(err, infer.ErrCoalescerClosed) {
+		t.Errorf("Predict after Close returned %v, want ErrCoalescerClosed", err)
+	}
+}
+
+// TestChaosServeFlush arms the serve/flush injection point: the flush
+// must fail every request of its batch with a recognizable injected
+// error, and the coalescer must serve cleanly once disarmed.
+func TestChaosServeFlush(t *testing.T) {
+	defer faultinject.Reset()
+	d, m := evalFixture(t)
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := infer.NewCoalescer(eng, infer.CoalescerConfig{MaxWait: time.Millisecond})
+	defer col.Close()
+	faultinject.Arm(faultinject.ServeFlush, faultinject.Spec{Kind: faultinject.Error, Count: 1})
+	if _, err := col.Predict(context.Background(), []int32{1, 2}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed flush fault produced %v, want ErrInjected", err)
+	}
+	faultinject.Reset()
+	classes, err := col.Predict(context.Background(), []int32{1, 2})
+	if err != nil {
+		t.Fatalf("flush after disarm: %v", err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(classes))
+	}
+}

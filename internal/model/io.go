@@ -1,0 +1,175 @@
+package model
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/safefile"
+)
+
+// Model persistence: the artifact `gnnavigator -save-model` writes and
+// cmd/gnnserve loads — everything needed to reconstruct a trained model
+// for inference (and, because gradients rebuild from scratch, for
+// further training): the full Config and every trainable parameter's
+// values, flattened, in Params() order. Each parameter carries its name
+// and shape so a load against a structurally different build fails
+// loudly instead of silently misassigning weights.
+//
+// Format: magic "GNAVMDL1", body, CRC-64/ECMA of the body as the
+// trailing 8 bytes (little-endian) — the footer discipline shared with
+// the plan and checkpoint formats via internal/safefile. Files are
+// written atomically (tmp+rename) and a failed write or rename leaves
+// no *.tmp behind.
+
+var modelMagic = [8]byte{'G', 'N', 'A', 'V', 'M', 'D', 'L', '1'}
+
+// Save writes m to path atomically.
+func Save(path string, m *Model) error {
+	if err := faultinject.Fire(faultinject.ModelSave); err != nil {
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	var body bytes.Buffer
+	if err := writeModelBody(&body, m); err != nil {
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	payload := body.Bytes()
+	// Checksum the intact body; the chaos Mutate hook corrupts after, so
+	// the load side must catch it.
+	sum := safefile.Checksum(payload)
+	faultinject.Mutate(faultinject.ModelSave, payload)
+	if err := safefile.Write(path, modelMagic, payload, sum); err != nil {
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save: it rebuilds the architecture from
+// the stored Config (New) and installs the stored parameter values —
+// bitwise — over the fresh initialization. The loaded model round-trips
+// exactly: same Cfg(), same Params() bits.
+func Load(path string) (*Model, error) {
+	if err := faultinject.Fire(faultinject.ModelLoad); err != nil {
+		return nil, fmt.Errorf("model: load %s: %w", path, err)
+	}
+	payload, err := safefile.Read(path, modelMagic)
+	if err != nil {
+		return nil, fmt.Errorf("model: load %s: %w", path, err)
+	}
+	br := bytes.NewReader(payload)
+	m, err := readModelBody(br)
+	if err != nil {
+		return nil, fmt.Errorf("model: load %s: %w", path, err)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("model: load %s: %d trailing bytes after body", path, br.Len())
+	}
+	return m, nil
+}
+
+func writeModelBody(w io.Writer, m *Model) error {
+	cfg := m.Cfg()
+	if err := safefile.WriteString(w, string(cfg.Kind)); err != nil {
+		return err
+	}
+	for _, v := range []int64{int64(cfg.InDim), int64(cfg.Hidden), int64(cfg.OutDim),
+		int64(cfg.Layers), int64(cfg.Heads), cfg.Seed} {
+		if err := safefile.WriteInt(w, v); err != nil {
+			return err
+		}
+	}
+	if err := safefile.WriteFloats(w, []float64{cfg.Dropout}); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := safefile.WriteInt(w, int64(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := safefile.WriteString(w, p.Name); err != nil {
+			return err
+		}
+		if err := safefile.WriteInt(w, int64(p.Value.Rows)); err != nil {
+			return err
+		}
+		if err := safefile.WriteInt(w, int64(p.Value.Cols)); err != nil {
+			return err
+		}
+		if err := safefile.WriteFloats(w, p.Value.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readModelBody(r io.Reader) (*Model, error) {
+	kind, err := safefile.ReadString(r)
+	if err != nil {
+		return nil, err
+	}
+	ints := make([]int64, 6)
+	for i := range ints {
+		if ints[i], err = safefile.ReadInt(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range ints[:5] {
+		if v < 0 || v > 1<<20 {
+			return nil, fmt.Errorf("corrupt model dimension %d", v)
+		}
+	}
+	drop, err := safefile.ReadFloats(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(drop) != 1 {
+		return nil, fmt.Errorf("corrupt dropout field (%d values)", len(drop))
+	}
+	cfg := Config{
+		Kind: Kind(kind), InDim: int(ints[0]), Hidden: int(ints[1]),
+		OutDim: int(ints[2]), Layers: int(ints[3]), Heads: int(ints[4]),
+		Dropout: drop[0], Seed: ints[5],
+	}
+	// New re-validates the config and rebuilds the layer stack; the
+	// stored values then overwrite the fresh seed initialization.
+	m, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt model config: %w", err)
+	}
+	params := m.Params()
+	n, err := safefile.ReadInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != len(params) {
+		return nil, fmt.Errorf("file holds %d params, architecture has %d", n, len(params))
+	}
+	for _, p := range params {
+		name, err := safefile.ReadString(r)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := safefile.ReadInt(r)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := safefile.ReadInt(r)
+		if err != nil {
+			return nil, err
+		}
+		if name != p.Name || int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
+			return nil, fmt.Errorf("param mismatch: file has %s[%dx%d], architecture wants %s[%dx%d]",
+				name, rows, cols, p.Name, p.Value.Rows, p.Value.Cols)
+		}
+		data, err := safefile.ReadFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) != len(p.Value.Data) {
+			return nil, fmt.Errorf("param %s holds %d scalars, want %d", name, len(data), len(p.Value.Data))
+		}
+		copy(p.Value.Data, data)
+	}
+	return m, nil
+}

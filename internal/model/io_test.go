@@ -1,0 +1,181 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gnnavigator/internal/faultinject"
+)
+
+func testModel(t *testing.T, kind Kind) *Model {
+	t.Helper()
+	m, err := New(Config{
+		Kind: kind, InDim: 12, Hidden: 8, OutDim: 5, Layers: 2, Heads: 2,
+		Dropout: 0.3, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb away from the fresh initialization so a load that silently
+	// kept New's values would be caught.
+	for i, p := range m.Params() {
+		for j := range p.Value.Data {
+			p.Value.Data[j] += float64(i)*0.125 + float64(j)*1e-3
+		}
+	}
+	return m
+}
+
+// TestSaveLoadRoundTrip pins the round trip bitwise: config fingerprint
+// and every parameter scalar identical to the saved model's.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE, GAT} {
+		t.Run(string(kind), func(t *testing.T) {
+			m := testModel(t, kind)
+			path := filepath.Join(t.TempDir(), "model.gnav")
+			if err := Save(path, m); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+				t.Errorf("tmp file left behind after a successful save")
+			}
+			got, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cfg() != m.Cfg() {
+				t.Errorf("config round-trip:\nsaved:  %+v\nloaded: %+v", m.Cfg(), got.Cfg())
+			}
+			want, have := m.Params(), got.Params()
+			if len(want) != len(have) {
+				t.Fatalf("loaded %d params, want %d", len(have), len(want))
+			}
+			for i := range want {
+				if want[i].Name != have[i].Name {
+					t.Fatalf("param %d name %q, want %q", i, have[i].Name, want[i].Name)
+				}
+				for j := range want[i].Value.Data {
+					w, h := want[i].Value.Data[j], have[i].Value.Data[j]
+					if math.Float64bits(w) != math.Float64bits(h) {
+						t.Fatalf("param %s[%d]: %v != %v (not bitwise)", want[i].Name, j, h, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadRejectsDamage flips each byte (and truncates at several
+// lengths): every damaged file must be rejected, never a partial or
+// silently wrong model.
+func TestLoadRejectsDamage(t *testing.T) {
+	m := testModel(t, SAGE)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gnav")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.gnav")
+	for _, i := range []int{0, 7, 8, 9, len(data) / 2, len(data) - 9, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bad); err == nil {
+			t.Errorf("model with byte %d flipped loaded without error", i)
+		}
+	}
+	for _, n := range []int{0, 4, 8, 20, len(data) / 2, len(data) - 8, len(data) - 1} {
+		if err := os.WriteFile(bad, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bad); err == nil {
+			t.Errorf("model truncated to %d of %d bytes loaded without error", n, len(data))
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	m := testModel(t, SAGE)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gnav")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.gnav")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+	// A plan/checkpoint magic must be refused outright.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "GNAVCKP1")
+	bad := filepath.Join(dir, "bad.gnav")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("foreign magic accepted: %v", err)
+	}
+}
+
+// TestChaosModelSave arms the model/save point with an error fault and
+// with payload corruption: the former must surface as a recognizable
+// injected error, the latter must be caught by the checksum on load.
+func TestChaosModelSave(t *testing.T) {
+	defer faultinject.Reset()
+	m := testModel(t, SAGE)
+	path := filepath.Join(t.TempDir(), "model.gnav")
+
+	faultinject.Arm(faultinject.ModelSave, faultinject.Spec{Kind: faultinject.Error, Count: 1})
+	if err := Save(path, m); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed save fault produced %v, want ErrInjected", err)
+	}
+	faultinject.Reset()
+
+	faultinject.Arm(faultinject.ModelSave, faultinject.Spec{Kind: faultinject.Corrupt, Count: 1, Bits: 3})
+	if err := Save(path, m); err != nil {
+		t.Fatalf("corrupting save failed at write time: %v", err)
+	}
+	faultinject.Reset()
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted model loaded: %v", err)
+	}
+
+	// Disarmed, the same path works end to end.
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosModelLoad arms the model/load point: the failure must be a
+// clean injected error, and the file must stay loadable afterwards.
+func TestChaosModelLoad(t *testing.T) {
+	defer faultinject.Reset()
+	m := testModel(t, SAGE)
+	path := filepath.Join(t.TempDir(), "model.gnav")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.ModelLoad, faultinject.Spec{Kind: faultinject.Error, Count: 1})
+	if _, err := Load(path); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed load fault produced %v, want ErrInjected", err)
+	}
+	faultinject.Reset()
+	if _, err := Load(path); err != nil {
+		t.Fatalf("load after disarm: %v", err)
+	}
+}

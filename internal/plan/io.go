@@ -1,21 +1,22 @@
 package plan
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/crc64"
 	"io"
 	"os"
 
 	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/safefile"
 )
 
 // Binary plan persistence: a fixed magic/version header, the key, the
 // shape, then the raw little-endian arrays, closed by a CRC-64 footer.
 // Plans are pure int32/int64 data, so the format is a straight dump —
-// gnnavigator -save-plan / -load-plan round-trips through it.
+// gnnavigator -save-plan / -load-plan round-trips through it. The
+// atomic write and footer verification live in internal/safefile, the
+// discipline shared with checkpoints and saved models.
 //
 // Version history:
 //
@@ -28,9 +29,6 @@ var (
 	planMagicV1 = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '1'}
 	planMagicV2 = [8]byte{'G', 'N', 'A', 'V', 'P', 'L', 'N', '2'}
 )
-
-// planCRC is the footer polynomial (shared with the checkpoint format).
-var planCRC = crc64.MakeTable(crc64.ECMA)
 
 // SaveFile writes the plan to path (atomically via rename, in the
 // current GNAVPLN2 format). A failed write or rename leaves no *.tmp
@@ -47,37 +45,9 @@ func SaveFile(path string, p *Plan) error {
 	// The checksum covers the intact body; the chaos Mutate hook flips
 	// bits only after it is computed, modelling media corruption that the
 	// load-side verification must catch.
-	sum := crc64.Checksum(payload, planCRC)
+	sum := safefile.Checksum(payload)
 	faultinject.Mutate(faultinject.PlanSave, payload)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	werr := func() error {
-		w := bufio.NewWriter(f)
-		if _, err := w.Write(planMagicV2[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
-			return err
-		}
-		return w.Flush()
-	}()
-	if werr != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("plan: save %s: %w", path, werr)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("plan: save %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := safefile.Write(path, planMagicV2, payload, sum); err != nil {
 		return fmt.Errorf("plan: save %s: %w", path, err)
 	}
 	return nil
@@ -89,24 +59,23 @@ func LoadFile(path string) (*Plan, error) {
 	if err := faultinject.Fire(faultinject.PlanLoad); err != nil {
 		return nil, fmt.Errorf("plan: load %s: %w", path, err)
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("plan: load %s: %w", path, err)
+	if len(data) < 8 {
+		return nil, fmt.Errorf("plan: load %s: truncated (%d bytes)", path, len(data))
 	}
+	var magic [8]byte
+	copy(magic[:], data)
 	var p *Plan
 	switch magic {
 	case planMagicV1:
 		// Legacy: no footer to verify; the body's own shape/extent checks
 		// are the only guard.
-		p, err = readPlanBody(r)
+		p, err = readPlanBody(bytes.NewReader(data[8:]))
 	case planMagicV2:
-		p, err = readPlanV2(r)
+		p, err = readPlanV2(data[8:])
 	default:
 		return nil, fmt.Errorf("plan: load %s: bad magic %q (not a plan file or wrong version)", path, magic[:])
 	}
@@ -116,22 +85,14 @@ func LoadFile(path string) (*Plan, error) {
 	return p, nil
 }
 
-// readPlanV2 reads body+footer, verifies the CRC over the exact body
-// bytes, then parses. The whole rest of the file is read up front so
-// truncation is indistinguishable from corruption — both fail the
-// checksum, never a partial parse.
-func readPlanV2(r io.Reader) (*Plan, error) {
-	rest, err := io.ReadAll(r)
+// readPlanV2 verifies the CRC footer over the exact body bytes, then
+// parses. The whole rest of the file was read up front so truncation is
+// indistinguishable from corruption — both fail the checksum, never a
+// partial parse.
+func readPlanV2(rest []byte) (*Plan, error) {
+	payload, err := safefile.Verify(rest)
 	if err != nil {
 		return nil, err
-	}
-	if len(rest) < 8 {
-		return nil, fmt.Errorf("truncated: %d bytes after header, need >= 8 for the checksum footer", len(rest))
-	}
-	payload, footer := rest[:len(rest)-8], rest[len(rest)-8:]
-	want := binary.LittleEndian.Uint64(footer)
-	if got := crc64.Checksum(payload, planCRC); got != want {
-		return nil, fmt.Errorf("checksum mismatch: file says %016x, body hashes to %016x (corrupt or truncated)", want, got)
 	}
 	br := bytes.NewReader(payload)
 	p, err := readPlanBody(br)
@@ -147,10 +108,10 @@ func readPlanV2(r io.Reader) (*Plan, error) {
 // writePlanBody serializes everything after the magic: key, shape,
 // arrays.
 func writePlanBody(w io.Writer, p *Plan) error {
-	if err := writeString(w, p.key.Dataset); err != nil {
+	if err := safefile.WriteString(w, p.key.Dataset); err != nil {
 		return err
 	}
-	if err := writeString(w, p.key.Sampler); err != nil {
+	if err := safefile.WriteString(w, p.key.Sampler); err != nil {
 		return err
 	}
 	scalars := []int64{
@@ -177,10 +138,10 @@ func writePlanBody(w io.Writer, p *Plan) error {
 func readPlanBody(r io.Reader) (*Plan, error) {
 	p := &Plan{}
 	var err error
-	if p.key.Dataset, err = readString(r); err != nil {
+	if p.key.Dataset, err = safefile.ReadString(r); err != nil {
 		return nil, err
 	}
-	if p.key.Sampler, err = readString(r); err != nil {
+	if p.key.Sampler, err = safefile.ReadString(r); err != nil {
 		return nil, err
 	}
 	scalars := make([]int64, 9)
@@ -224,28 +185,9 @@ func boolInt(b bool) int64 {
 	return 0
 }
 
-func writeString(w io.Writer, s string) error {
-	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, s)
-	return err
-}
-
-func readString(r io.Reader) (string, error) {
-	var n int64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if n < 0 || n > 1<<20 {
-		return "", fmt.Errorf("corrupt string length %d", n)
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
+// The plan's array fields can legitimately reach billions of entries at
+// paper scale, so they keep a wider read bound (1<<34) than the shared
+// safefile codec allows.
 
 func writeInt32s(w io.Writer, arr []int32) error {
 	if err := binary.Write(w, binary.LittleEndian, int64(len(arr))); err != nil {

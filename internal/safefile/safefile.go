@@ -1,0 +1,172 @@
+// Package safefile implements the checksummed-file discipline every
+// on-disk artifact in this repo shares — epoch plans (GNAVPLN2),
+// training checkpoints (GNAVCKP1) and saved models (GNAVMDL1): an
+// 8-byte magic, the serialized body, and a CRC-64/ECMA checksum of the
+// body as the trailing 8 bytes (little-endian). Files are written
+// atomically (tmp+rename) and a failed write or rename leaves no *.tmp
+// behind; on load, truncation is indistinguishable from corruption —
+// both fail the checksum, never a partial parse.
+//
+// The checksum is computed by the caller (Checksum) before any chaos
+// Mutate hook corrupts the payload, so the load-side verification is
+// what must catch injected damage — see internal/faultinject.
+package safefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+)
+
+// crcTable is the footer polynomial shared by every format.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum returns the CRC-64/ECMA footer checksum of body.
+func Checksum(body []byte) uint64 { return crc64.Checksum(body, crcTable) }
+
+// Write writes magic+payload+sum to path atomically via tmp+rename. The
+// caller computes sum (Checksum) over the intact payload before handing
+// the buffer to any corruption hook.
+func Write(path string, magic [8]byte, payload []byte, sum uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	werr := func() error {
+		w := bufio.NewWriter(f)
+		if _, err := w.Write(magic[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
+			return err
+		}
+		return w.Flush()
+	}()
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Read loads path, checks its magic, verifies the checksum footer and
+// returns the body. Errors carry no path prefix — callers wrap with
+// their own format context.
+func Read(path string, magic [8]byte) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("truncated (%d bytes)", len(data))
+	}
+	var got [8]byte
+	copy(got[:], data)
+	if got != magic {
+		return nil, fmt.Errorf("bad magic %q", got[:])
+	}
+	return Verify(data[8:])
+}
+
+// Verify splits rest — everything after the magic — into body and
+// checksum footer, verifies the CRC over the exact body bytes, and
+// returns the body. Callers that dispatch on multiple magics (the plan
+// loader's version switch) read the magic themselves and hand the rest
+// here.
+func Verify(rest []byte) ([]byte, error) {
+	if len(rest) < 8 {
+		return nil, fmt.Errorf("truncated: %d bytes after header, need >= 8 for the checksum footer", len(rest))
+	}
+	body, footer := rest[:len(rest)-8], rest[len(rest)-8:]
+	want := binary.LittleEndian.Uint64(footer)
+	if got := Checksum(body); got != want {
+		return nil, fmt.Errorf("checksum mismatch: file says %016x, body hashes to %016x (corrupt or truncated)", want, got)
+	}
+	return body, nil
+}
+
+// Length-prefixed field codec shared by the format bodies: every count
+// is a little-endian int64 with a hard upper bound on read, so a
+// corrupt length fails loudly instead of allocating gigabytes.
+
+// WriteString writes a length-prefixed string.
+func WriteString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// ReadString reads a string written by WriteString (bound 1<<20).
+func ReadString(r io.Reader) (string, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("corrupt string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteFloats writes a length-prefixed []float64; nil and empty both
+// round-trip as length 0 → nil (what AdamState uses to mean "untouched
+// moments").
+func WriteFloats(w io.Writer, arr []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(arr))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, arr)
+}
+
+// ReadFloats reads a slice written by WriteFloats (bound 1<<32).
+func ReadFloats(r io.Reader) ([]float64, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<32 {
+		return nil, fmt.Errorf("corrupt array length %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	arr := make([]float64, n)
+	if err := binary.Read(r, binary.LittleEndian, arr); err != nil {
+		return nil, err
+	}
+	return arr, nil
+}
+
+// WriteInt writes one little-endian int64 scalar.
+func WriteInt(w io.Writer, v int64) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+// ReadInt reads one little-endian int64 scalar.
+func ReadInt(r io.Reader) (int64, error) {
+	var v int64
+	err := binary.Read(r, binary.LittleEndian, &v)
+	return v, err
+}

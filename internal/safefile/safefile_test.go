@@ -1,0 +1,125 @@
+package safefile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testMagic = [8]byte{'T', 'E', 'S', 'T', 'M', 'A', 'G', '1'}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	payload := []byte("the quick brown fox")
+	if err := Write(path, testMagic, payload, Checksum(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("tmp file left behind after a successful write")
+	}
+	got, err := Read(path, testMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("body round-trip: got %q, want %q", got, payload)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	payload := []byte("body")
+	if err := Write(path, testMagic, payload, Checksum(payload)); err != nil {
+		t.Fatal(err)
+	}
+	other := [8]byte{'O', 'T', 'H', 'E', 'R', 'M', 'G', '1'}
+	if _, err := Read(path, other); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("wrong magic accepted: %v", err)
+	}
+}
+
+// TestCorruptionAndTruncation flips every byte (and truncates at every
+// length) of a small file: each damaged variant must be rejected.
+func TestCorruptionAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := Write(path, testMagic, payload, Checksum(payload)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad")
+	// Corrupt bytes past the magic (a flipped magic byte is a magic
+	// error, tested above).
+	for i := 8; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(bad, testMagic); err == nil {
+			t.Errorf("flipped byte %d loaded without error", i)
+		}
+	}
+	for n := 0; n < len(data); n++ {
+		if err := os.WriteFile(bad, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(bad, testMagic); err == nil {
+			t.Errorf("truncation to %d of %d bytes loaded without error", n, len(data))
+		}
+	}
+}
+
+func TestFieldCodec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteString(&buf, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInt(&buf, -42); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFloats(&buf, []float64{1.5, -2.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFloats(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadString(&buf)
+	if err != nil || s != "hello" {
+		t.Fatalf("string: %q, %v", s, err)
+	}
+	v, err := ReadInt(&buf)
+	if err != nil || v != -42 {
+		t.Fatalf("int: %d, %v", v, err)
+	}
+	fs, err := ReadFloats(&buf)
+	if err != nil || len(fs) != 2 || fs[0] != 1.5 || fs[1] != -2.25 {
+		t.Fatalf("floats: %v, %v", fs, err)
+	}
+	fs, err = ReadFloats(&buf)
+	if err != nil || fs != nil {
+		t.Fatalf("nil floats: %v, %v", fs, err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes", buf.Len())
+	}
+}
+
+func TestCorruptLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInt(&buf, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadString(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("oversized string length accepted")
+	}
+	if _, err := ReadFloats(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("oversized float count accepted")
+	}
+}

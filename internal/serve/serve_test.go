@@ -1,0 +1,222 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/infer"
+	"gnnavigator/internal/model"
+	"gnnavigator/internal/serve"
+)
+
+func testServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server, *infer.Engine) {
+	t.Helper()
+	d, err := dataset.Load(dataset.OgbnArxiv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(model.Config{
+		Kind: model.SAGE, InDim: d.Graph.FeatDim, Hidden: 16,
+		OutDim: d.Graph.NumClasses, Layers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := infer.New(infer.Config{Graph: d.Graph, Model: m, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = eng
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts, eng
+}
+
+func postPredict(t *testing.T, url string, body string) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(url+"/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp, out
+}
+
+// TestPredictEndpoint: a lone request is its own coalesced batch, so
+// the served classes must match a direct engine Predict of the same
+// targets exactly.
+func TestPredictEndpoint(t *testing.T) {
+	_, ts, eng := testServer(t, serve.Config{})
+	targets := []int32{3, 1, 4, 1, 5}
+	want, err := eng.Predict(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postPredict(t, ts.URL, `{"vertices":[3,1,4,1,5]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out["error"])
+	}
+	var classes []int32
+	if err := json.Unmarshal(out["classes"], &classes); err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != len(targets) {
+		t.Fatalf("%d classes for %d targets", len(classes), len(targets))
+	}
+	for i := range classes {
+		if classes[i] != want.Classes[i] {
+			t.Errorf("class[%d] = %d, engine says %d", i, classes[i], want.Classes[i])
+		}
+	}
+}
+
+func TestPredictRejections(t *testing.T) {
+	_, ts, _ := testServer(t, serve.Config{MaxVertices: 4})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"vertices":`},
+		{"empty list", `{"vertices":[]}`},
+		{"out of range", `{"vertices":[999999]}`},
+		{"negative", `{"vertices":[-1]}`},
+		{"too many", `{"vertices":[1,2,3,4,5]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, out := postPredict(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", resp.StatusCode, out["error"])
+			}
+			if len(out["error"]) == 0 {
+				t.Error("no error message in rejection body")
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	_, ts, _ := testServer(t, serve.Config{})
+	for i := 0; i < 3; i++ {
+		resp, out := postPredict(t, ts.URL, fmt.Sprintf(`{"vertices":[%d,%d]}`, 2*i, 2*i+1))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, out["error"])
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 3 || st.Errors != 0 || st.Vertices != 6 {
+		t.Errorf("counters off: %+v", st)
+	}
+	if st.Flushes < 1 || st.Flushes > 3 {
+		t.Errorf("flushes %d for 3 sequential requests", st.Flushes)
+	}
+	if st.P50Ms <= 0 || st.P99Ms < st.P50Ms {
+		t.Errorf("percentiles degenerate: p50=%v p99=%v", st.P50Ms, st.P99Ms)
+	}
+	if st.RPS <= 0 || st.UptimeSec <= 0 {
+		t.Errorf("throughput degenerate: %+v", st)
+	}
+	if st.HitRate != 0 || st.TransferredBytes != 0 {
+		t.Errorf("uncached engine reported cache stats: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
+		t.Errorf("healthz: status %d, body %v", resp.StatusCode, hz)
+	}
+	if hz["model"] != "sage" && hz["model"] != "SAGE" {
+		t.Errorf("healthz model = %v", hz["model"])
+	}
+}
+
+// TestConcurrentRequestsCoalesce: a synchronized burst against a
+// generous wait window must answer every request and need fewer engine
+// flushes than there were requests.
+func TestConcurrentRequestsCoalesce(t *testing.T) {
+	srv, ts, _ := testServer(t, serve.Config{MaxWait: 300 * time.Millisecond})
+	const clients = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, out := postPredict(t, ts.URL, fmt.Sprintf(`{"vertices":[%d,%d]}`, 3*i, 3*i+1))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, resp.StatusCode, out["error"])
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	st := srv.Snapshot()
+	if st.Requests != clients || st.Errors != 0 {
+		t.Errorf("counters off: %+v", st)
+	}
+	if st.Flushes >= clients {
+		t.Errorf("nothing coalesced: %d flushes for %d concurrent requests", st.Flushes, clients)
+	}
+}
+
+// TestChaosServeDecode arms the serve/decode injection point: the
+// faulted request must come back as a clean 500 with a recognizable
+// injected error, and the very next request must succeed.
+func TestChaosServeDecode(t *testing.T) {
+	defer faultinject.Reset()
+	_, ts, _ := testServer(t, serve.Config{})
+	faultinject.Arm(faultinject.ServeDecode, faultinject.Spec{Kind: faultinject.Error, Count: 1})
+	resp, out := postPredict(t, ts.URL, `{"vertices":[1]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("armed decode fault: status %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(out["error"], []byte("injected")) {
+		t.Fatalf("fault surfaced unrecognizably: %s", out["error"])
+	}
+	faultinject.Reset()
+	resp, out = postPredict(t, ts.URL, `{"vertices":[1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after disarm: status %d: %s", resp.StatusCode, out["error"])
+	}
+}
