@@ -59,6 +59,9 @@ func main() {
 		plnBench = flag.Bool("plan-bench", false, "measure live sampling vs compiled-plan replay and plan-shared calibration collection, writing BENCH_plan.json")
 		plnOut   = flag.String("plan-out", "BENCH_plan.json", "output path for -plan-bench")
 		plnQuick = flag.Bool("plan-quick", false, "shrink -plan-bench to one epoch and fewer probes (CI smoke)")
+		mltBench = flag.Bool("multi-bench", false, "measure 1/2/4-device training throughput + halo/all-reduce traffic (bitwise-gated against K=1) and write BENCH_multi.json")
+		mltOut   = flag.String("multi-out", "BENCH_multi.json", "output path for -multi-bench")
+		mltQuick = flag.Bool("multi-quick", false, "shrink -multi-bench to one epoch and one timing rep (CI smoke)")
 		svBench  = flag.Bool("serve-bench", false, "drive the HTTP serving stack with uniform + Zipf closed-loop load and write BENCH_serve.json")
 		svOut    = flag.String("serve-out", "BENCH_serve.json", "output path for -serve-bench")
 		svModel  = flag.String("serve-model", "", "model file for -serve-bench (trained and saved there if absent; empty = throwaway temp)")
@@ -105,6 +108,7 @@ func main() {
 		cchBench: *cchBench, cchOut: *cchOut,
 		dseBench: *dseBench, dseOut: *dseOut, dseQuick: *dseQuick,
 		plnBench: *plnBench, plnOut: *plnOut, plnQuick: *plnQuick,
+		mltBench: *mltBench, mltOut: *mltOut, mltQuick: *mltQuick,
 		svBench: *svBench, svOut: *svOut, svModel: *svModel,
 		svURL: *svURL, svQuick: *svQuick,
 	})
@@ -144,6 +148,9 @@ type benchModes struct {
 	plnBench bool
 	plnOut   string
 	plnQuick bool
+	mltBench bool
+	mltOut   string
+	mltQuick bool
 	svBench  bool
 	svOut    string
 	svModel  string
@@ -186,6 +193,12 @@ func dispatch(exp string, full bool, m benchModes) error {
 	if m.plnBench {
 		if err := runPlanBench(m.plnOut, m.plnQuick); err != nil {
 			return fmt.Errorf("plan-bench: %w", err)
+		}
+		return nil
+	}
+	if m.mltBench {
+		if err := runMultiBench(m.mltOut, m.mltQuick); err != nil {
+			return fmt.Errorf("multi-bench: %w", err)
 		}
 		return nil
 	}

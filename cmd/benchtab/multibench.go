@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gnnavigator/internal/backend"
+	"gnnavigator/internal/cache"
+	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
+	"gnnavigator/internal/model"
+)
+
+// MultiPartitionRow is one partitioner's quality on the bench graph at
+// the bench device count: the edge cut both strategies trade off against
+// balance, and the halo set the cut induces.
+type MultiPartitionRow struct {
+	Strategy      string  `json:"strategy"`
+	Devices       int     `json:"devices"`
+	CutEdges      int64   `json:"cut_edges"`
+	VertexBalance float64 `json:"vertex_balance"`
+	EdgeBalance   float64 `json:"edge_balance"`
+	HaloVertices  int     `json:"halo_vertices"`
+}
+
+// MultiDeviceRow is one device count's measured training throughput and
+// per-epoch communication volumes. The K > 1 rows only exist because
+// they passed the bitwise gate against K=1 first.
+type MultiDeviceRow struct {
+	Devices                int     `json:"devices"`
+	BatchesPerSec          float64 `json:"batches_per_sec"`
+	HaloBytesPerEpoch      int64   `json:"halo_bytes_per_epoch"`
+	AllReduceBytesPerEpoch int64   `json:"all_reduce_bytes_per_epoch"`
+	SimEpochSec            float64 `json:"sim_epoch_sec"`
+}
+
+// MultiBenchReport is the whole BENCH_multi.json document.
+type MultiBenchReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Quick      bool                `json:"quick"`
+	Dataset    string              `json:"dataset"`
+	Platform   string              `json:"platform"`
+	Epochs     int                 `json:"epochs"`
+	Partitions []MultiPartitionRow `json:"partitions"`
+	Rows       []MultiDeviceRow    `json:"rows"`
+}
+
+// runMultiBench measures multi-device scale-out — graph partitioning
+// quality, K=1/2/4 training throughput, and per-epoch halo/all-reduce
+// traffic — and writes BENCH_multi.json. Every K > 1 run is gated on
+// bitwise identity with the K=1 reference (accuracy history, hit rate,
+// transfer counters) before any number is reported: scale-out is a
+// simulated-time optimisation, never a result change. quick shrinks
+// epochs and timing reps for CI smoke runs.
+func runMultiBench(outPath string, quick bool) error {
+	epochs, reps := 2, 2
+	if quick {
+		epochs, reps = 1, 1
+	}
+	report := MultiBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+		Dataset:    dataset.OgbnArxiv,
+		Platform:   "a100x4",
+		Epochs:     epochs,
+	}
+
+	// Partitioner quality at the largest bench device count.
+	ds, err := dataset.Load(report.Dataset)
+	if err != nil {
+		return err
+	}
+	for _, strat := range graph.PartitionStrategies() {
+		part, err := graph.PartitionGraph(ds.Graph, 4, strat)
+		if err != nil {
+			return err
+		}
+		halo := 0
+		for _, h := range part.Halos {
+			halo += len(h)
+		}
+		report.Partitions = append(report.Partitions, MultiPartitionRow{
+			Strategy:      string(strat),
+			Devices:       4,
+			CutEdges:      part.CutEdges,
+			VertexBalance: part.VertexBalance(),
+			EdgeBalance:   part.EdgeBalance(),
+			HaloVertices:  halo,
+		})
+		fmt.Printf("partition %-6s k=4  cut %8d edges   balance v=%.2f e=%.2f   halo %d vertices\n",
+			strat, part.CutEdges, part.VertexBalance(), part.EdgeBalance(), halo)
+	}
+
+	cfg := backend.Config{
+		Dataset:     report.Dataset,
+		Platform:    report.Platform,
+		Model:       model.SAGE,
+		Hidden:      32,
+		Layers:      2,
+		Epochs:      epochs,
+		LR:          0.01,
+		Seed:        7,
+		Sampler:     backend.SamplerSAGE,
+		BatchSize:   512,
+		Fanouts:     []int{10, 5},
+		CacheRatio:  0.2,
+		CachePolicy: cache.Static,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	run := func(devices int) (*backend.Perf, error) {
+		c := cfg
+		c.Devices = devices
+		return backend.RunWith(c, backend.Options{EvalBatch: 512})
+	}
+
+	ref, err := run(1)
+	if err != nil {
+		return err
+	}
+	for _, k := range []int{1, 2, 4} {
+		perf := ref
+		if k > 1 {
+			if perf, err = run(k); err != nil {
+				return err
+			}
+			// The bitwise gate: scale-out must not move a single training
+			// outcome or feature-plane counter.
+			type gate struct {
+				Acc    float64
+				Hist   []float64
+				Hit    float64
+				Bytes  int64
+				Iters  int
+				MeanVi float64
+				PeakVi int
+			}
+			g := func(p *backend.Perf) gate {
+				return gate{p.Accuracy, p.AccuracyHistory, p.HitRate,
+					p.TransferredBytes, p.Iterations, p.MeanBatchSize, p.PeakBatchSize}
+			}
+			if !reflect.DeepEqual(g(perf), g(ref)) {
+				return fmt.Errorf("multi-bench: k=%d diverged from k=1: %+v vs %+v", k, g(perf), g(ref))
+			}
+		}
+		best := 0.0
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			p, err := run(k)
+			if err != nil {
+				return err
+			}
+			if bps := float64(p.Iterations) / time.Since(start).Seconds(); bps > best {
+				best = bps
+			}
+		}
+		row := MultiDeviceRow{
+			Devices:                k,
+			BatchesPerSec:          best,
+			HaloBytesPerEpoch:      perf.HaloBytes / int64(epochs),
+			AllReduceBytesPerEpoch: perf.AllReduceBytes / int64(epochs),
+			SimEpochSec:            perf.TimeSec,
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("devices %d  %7.1f b/s   halo %8.2f MB/epoch   all-reduce %8.2f MB/epoch   sim %.4fs/epoch\n",
+			k, row.BatchesPerSec, float64(row.HaloBytesPerEpoch)/1e6,
+			float64(row.AllReduceBytesPerEpoch)/1e6, row.SimEpochSec)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s; gomaxprocs=%d numcpu=%d]\n", outPath, report.GOMAXPROCS, report.NumCPU)
+	return nil
+}

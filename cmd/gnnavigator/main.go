@@ -40,6 +40,7 @@ func main() {
 		samples   = flag.Int("calib-samples", 14, "estimator calibration probes per dataset")
 		policies  = flag.String("policies", "", "comma-separated cache policies to explore (none,static,freq,fifo,lru,opt); empty = default space")
 		precision = flag.String("precision", "", "pin the feature storage precision (float32, float16, int8); empty = $GNNAV_PRECISION or explore all")
+		devices   = flag.Int("devices", 0, "pin the data-parallel device count (power of two the platform hosts); 0 = explore the default 1/2/4 sweep")
 		epochs    = flag.Int("epochs", 3, "training epochs")
 		doTrain   = flag.Bool("train", false, "execute the chosen guideline after exploring")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -77,8 +78,12 @@ func main() {
 		pipeline.SetDefaultPrefetch(*prefetch)
 	}
 
-	if _, ok := hw.Profiles()[*platform]; !ok {
-		log.Fatalf("unknown platform %q; have: rtx4090, rtx4090-8g, a100, m90, m90-2g", *platform)
+	plat, ok := hw.Profiles()[*platform]
+	if !ok {
+		log.Fatalf("unknown platform %q; have: %s", *platform, strings.Join(hw.ProfileNames(), ", "))
+	}
+	if *devices < 0 || *devices > plat.DeviceCount() {
+		log.Fatalf("-devices %d out of range for platform %q (%d devices)", *devices, *platform, plat.DeviceCount())
 	}
 	kind := model.Kind(*modelName)
 	switch kind {
@@ -111,9 +116,14 @@ func main() {
 		}
 	}
 	// A pinned precision collapses the explored precision dimension to it;
-	// otherwise the default space explores all three widths.
+	// otherwise the default space explores all three widths. Same for a
+	// pinned device count (the default sweep explores 1/2/4; counts the
+	// platform cannot host are pruned by validation).
 	if prec != "" {
 		space.Precisions = []cache.Precision{prec}
+	}
+	if *devices > 0 {
+		space.DeviceCounts = []int{*devices}
 	}
 
 	// nil when unbounded: backend runs skip the per-batch cancellation
@@ -138,6 +148,7 @@ func main() {
 		},
 		Space:           space,
 		Precision:       prec,
+		Devices:         *devices,
 		CalibSamples:    *samples,
 		Epochs:          *epochs,
 		Prefetch:        *prefetch,

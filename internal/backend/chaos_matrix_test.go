@@ -68,15 +68,30 @@ func TestChaosMatrixEveryPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The dist points only fire on multi-device runs, so they get their
+	// own trial config (and reference) on a two-device platform.
+	multi := cfg
+	multi.Platform = "rtx4090x2"
+	multi.Devices = 2
+	refM1, refM2, err := chaosTrial(t.TempDir(), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distPoints := map[faultinject.Point]bool{
+		faultinject.DistHalo:      true,
+		faultinject.DistAllReduce: true,
+	}
 
 	// The stage/worker sites run under the pipeline's (or the tensor
-	// pool's) panic containment; the IO points are plain error-return
+	// pool's) panic containment (dist/halo fires inside the gather
+	// stage); the IO points and dist/allreduce are plain error-return
 	// sites, so Panic is out of contract there.
 	contained := map[faultinject.Point]bool{
 		faultinject.PipelineSample: true,
 		faultinject.PipelineGather: true,
 		faultinject.TensorWorker:   true,
 		faultinject.CacheShard:     true,
+		faultinject.DistHalo:       true,
 	}
 	for _, pt := range faultinject.Points() {
 		if pt == faultinject.EstimatorProbe {
@@ -95,12 +110,16 @@ func TestChaosMatrixEveryPoint(t *testing.T) {
 		if contained[pt] {
 			kinds = append(kinds, faultinject.Panic)
 		}
+		trialCfg, trialRef1, trialRef2 := cfg, ref1, ref2
+		if distPoints[pt] {
+			trialCfg, trialRef1, trialRef2 = multi, refM1, refM2
+		}
 		for _, kind := range kinds {
 			t.Run(fmt.Sprintf("%s/%s", pt, kind), func(t *testing.T) {
 				defer faultinject.Reset()
 				faultinject.Arm(pt, faultinject.Spec{Kind: kind, Count: 1})
 				before := faultinject.Hits(pt)
-				p1, p2, err := chaosTrial(t.TempDir(), cfg)
+				p1, p2, err := chaosTrial(t.TempDir(), trialCfg)
 				faultinject.Reset()
 				if faultinject.Hits(pt) == before {
 					t.Fatalf("trial never passed through %s", pt)
@@ -109,8 +128,8 @@ func TestChaosMatrixEveryPoint(t *testing.T) {
 					if err != nil {
 						t.Fatalf("delay fault failed the trial: %v", err)
 					}
-					perfEqual(t, "delayed trial run", p1, ref1)
-					perfEqual(t, "delayed trial resume", p2, ref2)
+					perfEqual(t, "delayed trial run", p1, trialRef1)
+					perfEqual(t, "delayed trial resume", p2, trialRef2)
 					return
 				}
 				if err == nil {

@@ -12,6 +12,7 @@ import (
 
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/graph"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
 )
@@ -58,6 +59,22 @@ type Config struct {
 
 	// Cat. 4: computation.
 	Reorder bool // degree-descending relabel before training
+
+	// Cat. 5: scale-out. Devices is the data-parallel device count K
+	// (0 or 1 = single device). K > 1 partitions the graph's vertices
+	// into K shards, gives each device its own feature-cache shard over
+	// its shard's vertices, meters halo-exchange and all-reduce traffic,
+	// and divides the simulator's per-device terms by K. The determinism
+	// contract extends across K: results are bitwise-identical to the
+	// single-device run. K must be a power of two (the ordered tree
+	// all-reduce is IEEE-exact only then) no larger than the platform's
+	// device count, and the Opt cache policy is single-device only (its
+	// Belady script indexes the global access stream, which shards do
+	// not see).
+	Devices int
+	// Partition selects the vertex partitioner for Devices > 1
+	// (graph.PartitionHash or graph.PartitionGreedy; empty = greedy).
+	Partition graph.PartitionStrategy
 
 	// Training loop.
 	Epochs int
@@ -114,6 +131,23 @@ func (c Config) Validate() error {
 		// access order (a replayable plan), but cache-aware bias makes the
 		// access order depend on residency — which Opt's evictions mutate.
 		return fmt.Errorf("backend: opt cache policy requires unbiased sampling (BiasRate %v)", c.BiasRate)
+	}
+	if c.Devices < 0 {
+		return fmt.Errorf("backend: device count %d < 0", c.Devices)
+	}
+	if k := c.DeviceCount(); k > 1 {
+		if k&(k-1) != 0 {
+			return fmt.Errorf("backend: device count %d is not a power of two (the ordered all-reduce is IEEE-exact only for powers of two)", k)
+		}
+		if have := hw.Profiles()[c.Platform].DeviceCount(); k > have {
+			return fmt.Errorf("backend: %d devices requested but platform %q has %d", k, c.Platform, have)
+		}
+		if c.CachePolicy == cache.Opt {
+			return fmt.Errorf("backend: opt cache policy is single-device only (its Belady script indexes the global access stream)")
+		}
+	}
+	if c.Partition != "" && !c.Partition.Valid() {
+		return fmt.Errorf("backend: unknown partition strategy %q (have %v)", c.Partition, graph.PartitionStrategies())
 	}
 	if c.Layers < 1 || c.Hidden < 1 {
 		return fmt.Errorf("backend: bad model dims layers=%d hidden=%d", c.Layers, c.Hidden)
@@ -217,12 +251,33 @@ func (c Config) Fingerprint() string { return fmt.Sprintf("%#v", c) }
 // the zero value meaning the float32 baseline.
 func (c Config) FeaturePrecision() cache.Precision { return c.Precision.OrDefault() }
 
+// DeviceCount resolves the config's data-parallel device count, with
+// the zero value meaning a single device.
+func (c Config) DeviceCount() int {
+	if c.Devices < 1 {
+		return 1
+	}
+	return c.Devices
+}
+
+// PartitionStrategy resolves the config's vertex partitioner, with the
+// zero value meaning greedy (the edge-cut-minimizing default).
+func (c Config) PartitionStrategy() graph.PartitionStrategy {
+	if c.Partition == "" {
+		return graph.PartitionGreedy
+	}
+	return c.Partition
+}
+
 // Label renders a short human-readable identifier for result tables.
 func (c Config) Label() string {
 	l := fmt.Sprintf("%s/%s b=%d f=%v r=%.2f/%s bias=%.1f",
 		c.Sampler, c.Model, c.BatchSize, c.Fanouts, c.CacheRatio, c.CachePolicy, c.BiasRate)
 	if p := c.FeaturePrecision(); p != cache.Float32 {
 		l += "/" + string(p)
+	}
+	if k := c.DeviceCount(); k > 1 {
+		l += fmt.Sprintf(" k=%d/%s", k, c.PartitionStrategy())
 	}
 	return l
 }

@@ -8,6 +8,7 @@ import (
 
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
+	"gnnavigator/internal/dist"
 	"gnnavigator/internal/graph"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/infer"
@@ -42,16 +43,25 @@ type Perf struct {
 	// feature plane measured on the scaled run (scaled feature width);
 	// the simulator rescales it per batch into Eq. 6's t_transfer.
 	TransferredBytes int64
-	MeanBatchSize    float64 // mean measured |V_i| (scaled graph)
-	PeakBatchSize    int
-	PeakBatchEdges   int
-	MeanBatchEdges   float64
-	Breakdown        sim.MemoryBreakdown
-	EpochTimes       []float64
-	AccuracyHistory  []float64 // validation accuracy after each epoch
-	TimeBreakdown    sim.BatchTiming
-	WallSec          float64 // actual Go wall-clock spent (informational)
-	Iterations       int
+	// HaloBytes is the cumulative device-to-device halo-exchange traffic
+	// (scaled feature width) the multi-device feature plane metered:
+	// rows whose consumer partition is not their owner. 0 for
+	// single-device runs.
+	HaloBytes int64
+	// AllReduceBytes is the cumulative modeled interconnect traffic of
+	// the per-step gradient all-reduce (ring schedule, 2(K-1)/K of the
+	// parameter payload per device per step). 0 for single-device runs.
+	AllReduceBytes  int64
+	MeanBatchSize   float64 // mean measured |V_i| (scaled graph)
+	PeakBatchSize   int
+	PeakBatchEdges  int
+	MeanBatchEdges  float64
+	Breakdown       sim.MemoryBreakdown
+	EpochTimes      []float64
+	AccuracyHistory []float64 // validation accuracy after each epoch
+	TimeBreakdown   sim.BatchTiming
+	WallSec         float64 // actual Go wall-clock spent (informational)
+	Iterations      int
 }
 
 // Options tunes how much real work Run performs; the zero value means
@@ -244,19 +254,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		}
 	}
 
-	var src cache.FeatureSource
-	switch {
-	case policy == cache.None:
-		src = cache.NewGraphSourceAt(g, prec)
-	case policy == cache.Freq:
-		// Pre-sample admission, mined from a compiled plan: an unbiased
-		// instance of the run's own sampler compiles a salted one-epoch
-		// plan (fetched through the shared plan cache, so every probe of a
-		// calibration fan-out reuses the same pre-sampling pass), and the
-		// most frequently touched input vertices fill the cache before
-		// training. The mining plan is always unbiased — matching the
-		// legacy pre-sample pass, which drew without residency bias even
-		// for biased runs — so it is shared across bias rates too.
+	// Pre-sample admission for the Freq policy, mined from a compiled
+	// plan: an unbiased instance of the run's own sampler compiles a
+	// salted one-epoch plan (fetched through the shared plan cache, so
+	// every probe of a calibration fan-out reuses the same pre-sampling
+	// pass), and the most frequently touched input vertices fill the
+	// cache before training. The mining plan is always unbiased —
+	// matching the legacy pre-sample pass, which drew without residency
+	// bias even for biased runs — so it is shared across bias rates too.
+	freqOrder := func() ([]int32, error) {
 		preSmp, _, err := buildSampler(cfg, nil)
 		if err != nil {
 			return nil, err
@@ -266,29 +272,67 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		if err != nil {
 			return nil, err
 		}
-		devCache, err := cache.NewWithPrecision(cache.Freq, capVertices, g, minePl.CountOrder(g), prec)
+		return minePl.CountOrder(g), nil
+	}
+
+	devices := cfg.DeviceCount()
+	var src cache.FeatureSource
+	if devices > 1 {
+		// Multi-device feature plane: partition the (possibly reordered)
+		// vertex set, shard the cache budget across the K partitions, and
+		// meter halo-exchange traffic. The shard construction walks the
+		// same global admission order the single-device cache uses, so
+		// prefilled residency — and every transfer counter — is bitwise
+		// the single-device run's.
+		part, err := graph.PartitionGraph(g, devices, cfg.PartitionStrategy())
 		if err != nil {
+			return nil, fmt.Errorf("backend: %w", err)
+		}
+		var order []int32
+		switch policy {
+		case cache.Static:
+			order = g.DegreeOrder()
+		case cache.Freq:
+			if order, err = freqOrder(); err != nil {
+				return nil, err
+			}
+		}
+		if src, err = dist.NewSource(g, part, policy, capVertices, order, prec); err != nil {
 			return nil, err
 		}
-		src = cache.NewCachedSource(devCache, g)
-	case policy == cache.Opt:
-		// Belady upper bound: the run's own plan is mined for the exact
-		// future access order the device cache will see.
-		script, err := cache.BuildOptScript(g.NumVertices(), pl.BatchInputs(cfg.Epochs))
-		if err != nil {
-			return nil, err
+	} else {
+		switch {
+		case policy == cache.None:
+			src = cache.NewGraphSourceAt(g, prec)
+		case policy == cache.Freq:
+			order, err := freqOrder()
+			if err != nil {
+				return nil, err
+			}
+			devCache, err := cache.NewWithPrecision(cache.Freq, capVertices, g, order, prec)
+			if err != nil {
+				return nil, err
+			}
+			src = cache.NewCachedSource(devCache, g)
+		case policy == cache.Opt:
+			// Belady upper bound: the run's own plan is mined for the exact
+			// future access order the device cache will see.
+			script, err := cache.BuildOptScript(g.NumVertices(), pl.BatchInputs(cfg.Epochs))
+			if err != nil {
+				return nil, err
+			}
+			devCache, err := cache.NewOptWithPrecision(capVertices, g, script, prec)
+			if err != nil {
+				return nil, err
+			}
+			src = cache.NewCachedSource(devCache, g)
+		default:
+			devCache, err := cache.NewAtPrecision(policy, capVertices, g, prec)
+			if err != nil {
+				return nil, err
+			}
+			src = cache.NewCachedSource(devCache, g)
 		}
-		devCache, err := cache.NewOptWithPrecision(capVertices, g, script, prec)
-		if err != nil {
-			return nil, err
-		}
-		src = cache.NewCachedSource(devCache, g)
-	default:
-		devCache, err := cache.NewAtPrecision(policy, capVertices, g, prec)
-		if err != nil {
-			return nil, err
-		}
-		src = cache.NewCachedSource(devCache, g)
 	}
 
 	smp, walkSteps, err := buildSampler(cfg, src)
@@ -325,6 +369,18 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		}
 	}
 
+	// The gradient all-reduce: created whenever K > 1 so its modeled
+	// wire traffic is metered even on timing-only sweeps and through
+	// resume fast-forward (the metering is a pure function of the config,
+	// so a resumed run's AllReduceBytes reconstructs exactly); Step only
+	// runs on trained batches.
+	var red *dist.Reducer
+	if devices > 1 {
+		if red, err = dist.NewReducer(devices, mdl.Params()); err != nil {
+			return nil, err
+		}
+	}
+
 	// Effective vertex scale: a full-scale mini-batch is NOT the measured
 	// batch times |V_full|/|V_scaled| — on big graphs fanouts, not graph
 	// size, bound batch growth. The expected full-scale batch follows the
@@ -352,6 +408,12 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		return s
 	}
 	featShare := featureFLOPShare(cfg, g.FeatDim)
+	// Full-scale all-reduce payload per step: |Φ| scalars at the 4-byte
+	// transfer currency (the simulator applies the ring wire factor).
+	var arBytes float64
+	if devices > 1 {
+		arBytes = float64(paramsAtFullScale(mdl, ds, cfg)) * 4
+	}
 
 	perf := &Perf{Feasible: true}
 	var sumBatch, sumEdges float64
@@ -399,12 +461,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			ScaledFeatDim:    g.FeatDim,
 			Layers:           cfg.Layers,
 			WalkSteps:        walkSteps * len(b.Targets),
+			HaloBytes:        float64(b.HaloBytes),
+			AllReduceBytes:   arBytes,
 		}
 		wl := sim.Workload{
 			VertexScale:    effScale(mb.NumVertices),
 			FeatDim:        ds.FullFeatDim,
 			BytesPerScalar: 4,
 			Precision:      prec,
+			Devices:        devices,
 		}
 		bt := sim.EstimateBatch(vols, plat, wl)
 		timings = append(timings, bt)
@@ -412,6 +477,13 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		sumTiming.TTransfer += bt.TTransfer
 		sumTiming.TReplace += bt.TReplace
 		sumTiming.TCompute += bt.TCompute
+		sumTiming.THalo += bt.THalo
+		sumTiming.TAllReduce += bt.TAllReduce
+
+		perf.HaloBytes += b.HaloBytes
+		if red != nil {
+			perf.AllReduceBytes += red.WireBytesPerStep()
+		}
 
 		sumBatch += float64(mb.NumVertices)
 		sumEdges += float64(mb.NumEdges)
@@ -433,6 +505,15 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 			}
 			_, dLogits := nn.SoftmaxCrossEntropyWS(ws, logits, b.Labels)
 			mdl.Backward(dLogits)
+			if red != nil {
+				// Per-step gradient aggregation across the K replicas: the
+				// ordered tree reduce leaves identical replica gradients
+				// bitwise-unchanged, so the optimizer below sees exactly the
+				// single-device gradient.
+				if err := red.Step(mdl.Params()); err != nil {
+					return err
+				}
+			}
 			opt.Step(mdl.Params())
 			ws.ReleaseAll()
 		}
@@ -518,6 +599,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 	perf.TimeBreakdown = sim.BatchTiming{
 		TSample: sumTiming.TSample / n, TTransfer: sumTiming.TTransfer / n,
 		TReplace: sumTiming.TReplace / n, TCompute: sumTiming.TCompute / n,
+		THalo: sumTiming.THalo / n, TAllReduce: sumTiming.TAllReduce / n,
 	}
 	var sumEpoch float64
 	for _, t := range perf.EpochTimes {
@@ -544,6 +626,7 @@ func RunWith(cfg Config, opts Options) (*Perf, error) {
 		FeatDim:        ds.FullFeatDim,
 		BytesPerScalar: 4,
 		Precision:      prec,
+		Devices:        devices,
 	}
 	mem := sim.EstimateMemory(sim.MemoryVolumes{
 		ModelParams:       paramsAtFullScale(mdl, ds, cfg),

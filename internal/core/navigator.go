@@ -42,6 +42,12 @@ type Input struct {
 	// -precision flag and GNNAV_PRECISION env map onto this.
 	Precision cache.Precision
 
+	// Devices pins the data-parallel device count of the base config
+	// (and, unless Space.DeviceCounts overrides it, of every explored
+	// candidate). 0 or 1 = single device; K > 1 must be a power of two
+	// the platform hosts. The gnnavigator -devices flag maps onto this.
+	Devices int
+
 	// CalibDatasets are profiled to train the estimator. Default: every
 	// built-in dataset except the target (the paper's leave-one-out rule,
 	// §4.1: "established upon the performance across all the datasets
@@ -219,6 +225,7 @@ func New(in Input) (*Navigator, error) {
 		Fanouts:     defaultFanouts(in.Layers),
 		CachePolicy: cache.None,
 		Precision:   in.Precision,
+		Devices:     in.Devices,
 	}
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("core: base config: %w", err)

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/nn"
+	"gnnavigator/internal/tensor"
+)
+
+// Reducer is the deterministic ordered all-reduce for per-step gradient
+// aggregation across K data-parallel devices. Because the substrate's
+// determinism contract makes every replica's backward pass
+// bitwise-identical, the K per-device gradients are K identical copies;
+// the reducer materializes them in per-device staging buffers and
+// reduces in a fixed partition-index tree — pairing (0,1), (2,3), then
+// (0,2), ... — so the summation order never depends on worker completion
+// order. For power-of-two K every tree add doubles equal addends and the
+// final 1/K rescale divides by a power of two, both exact in IEEE-754,
+// so the averaged gradient is bitwise the single-device gradient. (An
+// odd K would round: g + 2g is already inexact — which is why the
+// backend restricts device counts to powers of two.)
+type Reducer struct {
+	k       int
+	staging [][]float64
+	wire    int64
+}
+
+// NewReducer builds a K-device reducer for models shaped like params
+// (the staging buffers are sized lazily per parameter, so params only
+// fixes the byte accounting). K must be a power of two, >= 2.
+func NewReducer(k int, params []*nn.Param) (*Reducer, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return nil, fmt.Errorf("dist: reducer needs a power-of-two device count >= 2, got %d", k)
+	}
+	scalars := 0
+	for _, p := range params {
+		scalars += len(p.Grad.Data)
+	}
+	// Ring all-reduce wire traffic per step: each device sends (and
+	// receives) 2(K-1)/K of the payload at the 4-byte transfer currency.
+	wire := int64(math.Ceil(2 * float64(k-1) / float64(k) * float64(scalars) * 4))
+	r := &Reducer{k: k, staging: make([][]float64, k), wire: wire}
+	return r, nil
+}
+
+// WireBytesPerStep returns the modeled interconnect traffic of one
+// all-reduce step (ring schedule, 4 bytes per scalar).
+func (r *Reducer) WireBytesPerStep() int64 { return r.wire }
+
+// Step averages the gradients of params across the K replicas: each
+// parameter's gradient is broadcast into the K staging buffers (the
+// per-device copies), tree-reduced in partition-index order, rescaled by
+// 1/K, and written back — leaving the gradient bitwise-unchanged for
+// identical replicas, by the argument in the type comment. The
+// per-element work is sharded over the tensor worker pool; elements are
+// independent, so the result is identical at every worker count.
+func (r *Reducer) Step(params []*nn.Param) error {
+	if err := faultinject.Fire(faultinject.DistAllReduce); err != nil {
+		return fmt.Errorf("dist: all-reduce: %w", err)
+	}
+	for _, p := range params {
+		g := p.Grad.Data
+		n := len(g)
+		if n == 0 {
+			continue
+		}
+		for i := range r.staging {
+			if cap(r.staging[i]) < n {
+				r.staging[i] = make([]float64, n)
+			}
+			r.staging[i] = r.staging[i][:n]
+		}
+		staging, kf := r.staging, float64(r.k)
+		tensor.ParallelRange(n, func(lo, hi int) {
+			// Broadcast: each device's replica gradient.
+			for i := range staging {
+				copy(staging[i][lo:hi], g[lo:hi])
+			}
+			// Fixed-order tree reduce: stride doubling over partition
+			// indices, independent of scheduling.
+			for stride := 1; stride < len(staging); stride *= 2 {
+				for i := 0; i+stride < len(staging); i += 2 * stride {
+					a, b := staging[i], staging[i+stride]
+					for j := lo; j < hi; j++ {
+						a[j] += b[j]
+					}
+				}
+			}
+			for j := lo; j < hi; j++ {
+				g[j] = staging[0][j] / kf
+			}
+		})
+	}
+	return nil
+}

@@ -42,6 +42,12 @@ type Space struct {
 	// hop-list samplers only fanout sets whose length matches the depth
 	// are admitted.
 	LayerCounts []int
+	// DeviceCounts varies the data-parallel device count (Cat. 5's
+	// scale-out knob): K devices divide the simulator's per-device terms
+	// by K but add halo-exchange and all-reduce interconnect traffic.
+	// Config.Validate prunes counts the base platform cannot host (and
+	// non-power-of-two counts) automatically.
+	DeviceCounts []int
 }
 
 // DefaultSpace is the grid used throughout the evaluation. It subsumes
@@ -61,6 +67,10 @@ func DefaultSpace() Space {
 		Precisions: cache.Precisions(),
 		BiasRates:  []float64{0, 0.9},
 		Hiddens:    []int{32, 64},
+		// Multi-device counts survive only on platforms that host them
+		// (the Validate filter prunes the rest), so the default grid is
+		// safe on single-device platforms too.
+		DeviceCounts: []int{1, 2, 4},
 	}
 }
 
@@ -74,7 +84,8 @@ func (s Space) IsZero() bool {
 		len(s.FanoutSets) == 0 && len(s.WalkLengths) == 0 &&
 		len(s.CacheRatios) == 0 && len(s.Policies) == 0 &&
 		len(s.Precisions) == 0 && len(s.BiasRates) == 0 &&
-		len(s.Hiddens) == 0 && len(s.LayerCounts) == 0
+		len(s.Hiddens) == 0 && len(s.LayerCounts) == 0 &&
+		len(s.DeviceCounts) == 0
 }
 
 // Size returns an upper bound on the number of leaf configurations.
@@ -94,6 +105,7 @@ func (s Space) Size() int {
 	mul(len(s.BiasRates))
 	mul(len(s.Hiddens))
 	mul(len(s.LayerCounts))
+	mul(len(s.DeviceCounts))
 	return n
 }
 
@@ -237,40 +249,45 @@ func (s Space) forEachLeaf(base backend.Config, ratio float64, prec cache.Precis
 					for _, pol := range s.Policies {
 						for _, bias := range s.BiasRates {
 							for _, hidden := range s.Hiddens {
-								cfg := base
-								cfg.Sampler = smp
-								cfg.BatchSize = b0
-								cfg.CacheRatio = ratio
-								cfg.Precision = prec
-								cfg.Hidden = hidden
-								cfg.Layers = layers
-								if smp == backend.SamplerSAINT {
-									cfg.Fanouts = nil
-									cfg.WalkLength = s.WalkLengths[sh]
-								} else {
-									cfg.Fanouts = s.FanoutSets[sh]
-									cfg.WalkLength = 0
-									if len(cfg.Fanouts) != cfg.Layers {
+								for _, dev := range s.DeviceCounts {
+									cfg := base
+									cfg.Sampler = smp
+									cfg.BatchSize = b0
+									cfg.CacheRatio = ratio
+									cfg.Precision = prec
+									cfg.Hidden = hidden
+									cfg.Layers = layers
+									cfg.Devices = dev
+									if smp == backend.SamplerSAINT {
+										cfg.Fanouts = nil
+										cfg.WalkLength = s.WalkLengths[sh]
+									} else {
+										cfg.Fanouts = s.FanoutSets[sh]
+										cfg.WalkLength = 0
+										if len(cfg.Fanouts) != cfg.Layers {
+											continue
+										}
+									}
+									if ratio == 0 {
+										cfg.CachePolicy = cache.None
+										cfg.BiasRate = 0
+										if pol != s.Policies[0] || bias != s.BiasRates[0] {
+											continue // collapse duplicate no-cache combos
+										}
+									} else {
+										cfg.CachePolicy = pol
+										cfg.BiasRate = bias
+										if bias > 0 && smp != backend.SamplerSAGE {
+											continue // cache-aware bias is node-wise only
+										}
+									}
+									// Validate prunes device counts the platform
+									// cannot host (and Opt at K > 1).
+									if cfg.Validate() != nil {
 										continue
 									}
+									yield(cfg)
 								}
-								if ratio == 0 {
-									cfg.CachePolicy = cache.None
-									cfg.BiasRate = 0
-									if pol != s.Policies[0] || bias != s.BiasRates[0] {
-										continue // collapse duplicate no-cache combos
-									}
-								} else {
-									cfg.CachePolicy = pol
-									cfg.BiasRate = bias
-									if bias > 0 && smp != backend.SamplerSAGE {
-										continue // cache-aware bias is node-wise only
-									}
-								}
-								if cfg.Validate() != nil {
-									continue
-								}
-								yield(cfg)
 							}
 						}
 					}
@@ -414,6 +431,9 @@ func (e *Explorer) normalizedSpace(base backend.Config) Space {
 	}
 	if len(s.LayerCounts) == 0 {
 		s.LayerCounts = []int{base.Layers}
+	}
+	if len(s.DeviceCounts) == 0 {
+		s.DeviceCounts = []int{base.DeviceCount()}
 	}
 	return s
 }

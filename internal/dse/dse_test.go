@@ -327,3 +327,60 @@ func TestPrioritiesListed(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreSweepsDevices: DeviceCounts joins the space. On a
+// multi-device platform the explorer evaluates scaled-out leaves; on a
+// single-device platform the Validate filter prunes every K > 1 leaf,
+// leaving exactly the K=1 enumeration.
+func TestExploreSweepsDevices(t *testing.T) {
+	est := sharedEstimator(t)
+	sp := smallSpace()
+	sp.DeviceCounts = []int{1, 2}
+	multiBase := baseCfg()
+	multiBase.Platform = "rtx4090x2"
+	res, err := (&Explorer{Est: est, Space: sp}).Explore(multiBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, multi := 0, 0
+	for _, c := range res.Candidates {
+		if c.Cfg.DeviceCount() > 1 {
+			multi++
+		} else {
+			single++
+		}
+	}
+	if single == 0 || multi == 0 {
+		t.Fatalf("device sweep lopsided: %d single-device vs %d multi-device candidates", single, multi)
+	}
+
+	// Single-device platform: the K=2 half of the grid is inadmissible,
+	// so the evaluation count collapses to the K=1-only space's.
+	resSingle, err := (&Explorer{Est: est, Space: sp}).Explore(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spOne := sp
+	spOne.DeviceCounts = []int{1}
+	resOne, err := (&Explorer{Est: est, Space: spOne}).Explore(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSingle.Evaluated != resOne.Evaluated {
+		t.Errorf("single-device platform evaluated %d leaves, want the K=1-only %d",
+			resSingle.Evaluated, resOne.Evaluated)
+	}
+	for _, c := range resSingle.Candidates {
+		if c.Cfg.DeviceCount() > 1 {
+			t.Fatalf("multi-device candidate %s on a single-device platform", c.Cfg.Label())
+		}
+	}
+}
+
+// TestDefaultSpaceIncludesDevices pins the scale-out knob in the
+// evaluation grid.
+func TestDefaultSpaceIncludesDevices(t *testing.T) {
+	if got := DefaultSpace().DeviceCounts; len(got) < 2 || got[0] != 1 {
+		t.Fatalf("DefaultSpace().DeviceCounts = %v, want a sweep starting at 1", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"gnnavigator/internal/cache"
 	"gnnavigator/internal/dataset"
 	"gnnavigator/internal/faultinject"
+	"gnnavigator/internal/graph"
 	"gnnavigator/internal/hw"
 	"gnnavigator/internal/model"
 	"gnnavigator/internal/nn"
@@ -440,6 +441,20 @@ func ProbeConfigs(dsName string, kind model.Kind, platform string, n int, seed i
 		case 2:
 			cfg.Precision = cache.Int8
 		}
+		// On multi-device platforms, roughly half the probes scale out so
+		// the time residual sees the comm-overhead-vs-K-speedup tradeoff
+		// (power-of-two counts up to the platform's; single-device
+		// platforms never draw one). The partitioner alternates too.
+		if maxDev := hw.Profiles()[platform].DeviceCount(); maxDev > 1 && rng.Intn(2) == 0 {
+			k := 2
+			for k*2 <= maxDev && rng.Intn(2) == 0 {
+				k *= 2
+			}
+			cfg.Devices = k
+			if rng.Intn(2) == 0 {
+				cfg.Partition = graph.PartitionHash
+			}
+		}
 		if cfg.Validate() != nil {
 			continue
 		}
@@ -513,7 +528,23 @@ func features(cfg backend.Config, st GraphStats) []float64 {
 		// the accuracy regressor reads the quantization cost off it, the
 		// time/memory residuals the payload shrinkage.
 		float64(cfg.FeaturePrecision().BytesPerScalar()) / 4,
+		// Scale-out: the device count K (time residuals read the K-divided
+		// compute/transfer terms and the comm overhead off it; accuracy is
+		// K-invariant by the determinism contract) and the partitioner
+		// (greedy 0, hash 1 — hash cuts more edges, so more halo traffic).
+		math.Log2(float64(cfg.DeviceCount())),
+		partitionCode(cfg),
 	}
+}
+
+// partitionCode encodes the partition strategy for the regressors:
+// greedy (the default) 0, hash 1. Single-device configs read 0 — the
+// partitioner is inert there.
+func partitionCode(cfg backend.Config) float64 {
+	if cfg.DeviceCount() > 1 && cfg.PartitionStrategy() == graph.PartitionHash {
+		return 1
+	}
+	return 0
 }
 
 // collisionDistinct is the balls-in-bins expectation for the number of
@@ -796,10 +827,20 @@ func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 		scale = 1
 	}
 	wl := sim.Workload{VertexScale: scale, FeatDim: ds.FullFeatDim, BytesPerScalar: 4,
-		Precision: cfg.FeaturePrecision()}
+		Precision: cfg.FeaturePrecision(), Devices: cfg.DeviceCount()}
 	walkSteps := 0
 	if cfg.Sampler == backend.SamplerSAINT {
 		walkSteps = cfg.WalkLength * cfg.BatchSize
+	}
+	// Scale-out comm volumes: under a random (owner-uniform) partition a
+	// batch row is remote with probability (K-1)/K, so the expected halo
+	// payload is that fraction of the batch's rows at the scaled storage
+	// width (greedy partitions cut less; the time residual corrects). The
+	// all-reduce moves the full-scale parameter payload each step.
+	var haloBytes, arBytes float64
+	if k := float64(cfg.DeviceCount()); k > 1 {
+		haloBytes = vi * (k - 1) / k * float64(cfg.FeaturePrecision().RowBytes(ds.Graph.FeatDim))
+		arBytes = float64(analyticParams(cfg, ds)) * 4
 	}
 	vols := sim.BatchVolumes{
 		SampledVertices:  int(vi),
@@ -813,6 +854,8 @@ func (e *Estimator) Predict(cfg backend.Config) (Prediction, error) {
 		ScaledFeatDim:    ds.Graph.FeatDim,
 		Layers:           cfg.Layers,
 		WalkSteps:        walkSteps,
+		HaloBytes:        haloBytes,
+		AllReduceBytes:   arBytes,
 	}
 	bt := sim.EstimateBatch(vols, plat, wl)
 	nIter := math.Ceil(float64(len(ds.TrainIdx)) / float64(cfg.BatchSize))

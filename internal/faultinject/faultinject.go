@@ -74,13 +74,21 @@ const (
 	// ServeFlush fires in the request coalescer before a coalesced batch
 	// is flushed through the inference engine (internal/infer).
 	ServeFlush Point = "serve/flush"
+	// DistHalo fires in the multi-device feature plane's halo-exchange
+	// step (dist.Source), once per batch, before remote-partition rows
+	// are classified and metered.
+	DistHalo Point = "dist/halo"
+	// DistAllReduce fires in the ordered gradient all-reduce
+	// (dist.Reducer.Step), once per training step, before the replica
+	// buffers are reduced.
+	DistAllReduce Point = "dist/allreduce"
 )
 
 // Points lists the full injection-point catalog.
 func Points() []Point {
 	return []Point{PipelineSample, PipelineGather, TensorWorker, CacheShard,
 		PlanSave, PlanLoad, CheckpointSave, CheckpointLoad, EstimatorProbe,
-		ModelSave, ModelLoad, ServeDecode, ServeFlush}
+		ModelSave, ModelLoad, ServeDecode, ServeFlush, DistHalo, DistAllReduce}
 }
 
 // Kind selects what an armed point does when its schedule fires.

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// K-way vertex partitioning for multi-device training. A Partition
+// assigns every vertex to exactly one of K parts; the part that owns a
+// vertex stores its feature row, and any other part that needs the row
+// (because one of its own vertices has an arc to it) must fetch it over
+// the inter-device interconnect. The quality metrics reported here — cut
+// arcs, per-part balance, halo sets — are exactly the quantities the
+// simulator prices: halo bytes scale with the boundary size, and
+// per-part balance bounds the slowest device's share of the work.
+
+// PartitionStrategy selects the vertex-assignment heuristic.
+type PartitionStrategy string
+
+const (
+	// PartitionHash assigns vertices by a splitmix64 hash of the vertex
+	// id: O(V), perfectly streaming, expected balance within O(sqrt) of
+	// uniform, but oblivious to structure — the expected cut fraction is
+	// (K-1)/K.
+	PartitionHash PartitionStrategy = "hash"
+	// PartitionGreedy is linear deterministic greedy (LDG) over
+	// DegreeOrder: each vertex joins the part holding most of its
+	// already-assigned neighbors, weighted by remaining capacity.
+	// High-degree vertices are placed first so the hubs that dominate
+	// boundary traffic anchor their neighborhoods.
+	PartitionGreedy PartitionStrategy = "greedy"
+)
+
+// Valid reports whether s names a known strategy.
+func (s PartitionStrategy) Valid() bool {
+	return s == PartitionHash || s == PartitionGreedy
+}
+
+// PartitionStrategies lists the known strategies in stable order.
+func PartitionStrategies() []PartitionStrategy {
+	return []PartitionStrategy{PartitionHash, PartitionGreedy}
+}
+
+// Partition is a K-way vertex partition of a graph.
+type Partition struct {
+	// K is the number of parts. Parts may be empty when K exceeds the
+	// vertex count.
+	K int
+	// Strategy records the heuristic that produced the assignment.
+	Strategy PartitionStrategy
+	// Owner[v] is the part index owning vertex v, in [0, K).
+	Owner []int32
+	// CutEdges counts stored arcs whose endpoints lie in different
+	// parts. Undirected graphs store both arc directions, so each cut
+	// undirected edge contributes 2 here.
+	CutEdges int64
+	// VertexCounts[k] is the number of vertices owned by part k.
+	VertexCounts []int
+	// EdgeCounts[k] is the number of stored arcs whose source vertex is
+	// owned by part k.
+	EdgeCounts []int64
+	// Halos[k] lists, sorted ascending, the vertices NOT owned by part k
+	// to which some vertex owned by k has an arc — the boundary feature
+	// rows part k must request from their owners.
+	Halos [][]int32
+}
+
+// PartitionGraph partitions g into k parts with the given strategy.
+func PartitionGraph(g *Graph, k int, strategy PartitionStrategy) (*Partition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: partition: nil graph")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("graph: partition: k = %d, want >= 1", k)
+	}
+	if !strategy.Valid() {
+		return nil, fmt.Errorf("graph: partition: unknown strategy %q (have %v)", strategy, PartitionStrategies())
+	}
+	n := g.NumVertices()
+	owner := make([]int32, n)
+	switch {
+	case k == 1:
+		// Identity: everything in part 0, no cut, no halo.
+	case strategy == PartitionHash:
+		for v := range owner {
+			owner[v] = int32(splitmix64(uint64(v)) % uint64(k))
+		}
+	default:
+		assignGreedy(g, k, owner)
+	}
+	p := &Partition{
+		K:            k,
+		Strategy:     strategy,
+		Owner:        owner,
+		VertexCounts: make([]int, k),
+		EdgeCounts:   make([]int64, k),
+		Halos:        make([][]int32, k),
+	}
+	for _, o := range owner {
+		p.VertexCounts[o]++
+	}
+	// One pass over the CSR arrays collects cut arcs, per-part edge
+	// counts, and halo sets (deduplicated via sort+compact afterwards).
+	for v := 0; v < n; v++ {
+		ov := owner[v]
+		ns := g.Neighbors(int32(v))
+		p.EdgeCounts[ov] += int64(len(ns))
+		for _, u := range ns {
+			if owner[u] != ov {
+				p.CutEdges++
+				p.Halos[ov] = append(p.Halos[ov], u)
+			}
+		}
+	}
+	for i := range p.Halos {
+		slices.Sort(p.Halos[i])
+		p.Halos[i] = slices.Compact(p.Halos[i])
+	}
+	return p, nil
+}
+
+// assignGreedy fills owner with the LDG assignment: walk vertices in
+// DegreeOrder; each joins the part p maximizing
+// |assigned neighbors in p| * (1 - size(p)/C), with capacity
+// C = ceil(n/k). A part at capacity scores <= 0 and is never chosen by
+// affinity, so no part exceeds C; a vertex with no positive-scoring part
+// (no assigned neighbors, or all of them in full parts) falls back to
+// the least-loaded part. All ties break toward the lower part index, so
+// the assignment is deterministic.
+func assignGreedy(g *Graph, k int, owner []int32) {
+	n := len(owner)
+	for v := range owner {
+		owner[v] = -1
+	}
+	capacity := (n + k - 1) / k
+	sizes := make([]int, k)
+	affinity := make([]int, k) // scratch: assigned-neighbor count per part
+	touched := make([]int32, 0, 64)
+	for _, v := range g.DegreeOrder() {
+		for _, u := range g.Neighbors(v) {
+			if o := owner[u]; o >= 0 {
+				if affinity[o] == 0 {
+					touched = append(touched, o)
+				}
+				affinity[o]++
+			}
+		}
+		best, bestScore := int32(-1), 0.0
+		// Iterate touched parts in index order so equal scores pick the
+		// lower index regardless of neighbor order.
+		slices.Sort(touched)
+		for _, p := range touched {
+			score := float64(affinity[p]) * (1 - float64(sizes[p])/float64(capacity))
+			if score > bestScore {
+				best, bestScore = p, score
+			}
+			affinity[p] = 0
+		}
+		touched = touched[:0]
+		if best < 0 {
+			best = leastLoaded(sizes)
+		}
+		owner[v] = best
+		sizes[best]++
+	}
+}
+
+// leastLoaded returns the lowest-index part with minimum size.
+func leastLoaded(sizes []int) int32 {
+	best := 0
+	for p := 1; p < len(sizes); p++ {
+		if sizes[p] < sizes[best] {
+			best = p
+		}
+	}
+	return int32(best)
+}
+
+// VertexBalance is max over parts of VertexCounts[k] divided by the
+// ideal n/K share (1.0 = perfectly balanced; 0 for empty graphs).
+func (p *Partition) VertexBalance() float64 { return balance(p.VertexCounts) }
+
+// EdgeBalance is max over parts of EdgeCounts[k] divided by the ideal
+// |E|/K share (1.0 = perfectly balanced; 0 for edgeless graphs).
+func (p *Partition) EdgeBalance() float64 { return balance(p.EdgeCounts) }
+
+func balance[T int | int64](counts []T) float64 {
+	var total, max T
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(counts)) / float64(total)
+}
+
+// HaloVertices returns the total halo-set size summed over parts: the
+// number of (part, remote vertex) feature-row dependencies a full pass
+// over the graph implies.
+func (p *Partition) HaloVertices() int {
+	n := 0
+	for _, h := range p.Halos {
+		n += len(h)
+	}
+	return n
+}
+
+// splitmix64 is the SplitMix64 finalizer, the same mixer the sampling
+// layer uses for per-batch seeds. It is bijective, so hash partitioning
+// inherits its full avalanche behavior.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

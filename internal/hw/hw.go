@@ -10,7 +10,10 @@
 // kernels are memory-bound.
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Host models the CPU side: sampling and feature gathering.
 type Host struct {
@@ -45,14 +48,34 @@ type Link struct {
 	LatencySec float64
 }
 
-// Platform bundles a host, device and link.
+// Platform bundles a host, device and link. Multi-device platforms set
+// Devices > 1 and describe the device-to-device fabric in Interconnect;
+// every device is an identical copy of Device with its own host link.
 type Platform struct {
 	Host   Host
 	Device Device
 	Link   Link
+
+	// Devices is the number of identical accelerators (0 or 1 = single
+	// device).
+	Devices int
+	// Interconnect is the device-to-device fabric (NVLink, PCIe peer)
+	// carrying halo-exchange and all-reduce traffic. Only consulted when
+	// Devices > 1.
+	Interconnect Link
 }
 
-// Validate checks that all rates and capacities are positive.
+// DeviceCount returns the effective device count (Devices, floored at 1).
+func (p Platform) DeviceCount() int {
+	if p.Devices < 1 {
+		return 1
+	}
+	return p.Devices
+}
+
+// Validate checks that all rates and capacities are positive, fixed
+// overheads are non-negative, and multi-device platforms describe their
+// interconnect.
 func (p Platform) Validate() error {
 	if p.Host.Cores < 1 || p.Host.SampleEdgesPerSec <= 0 || p.Host.GatherBytesPerSec <= 0 {
 		return fmt.Errorf("hw: invalid host %+v", p.Host)
@@ -60,8 +83,19 @@ func (p Platform) Validate() error {
 	if p.Device.EffGFLOPS <= 0 || p.Device.MemBytesPerSec <= 0 || p.Device.MemCapacityBytes <= 0 {
 		return fmt.Errorf("hw: invalid device %+v", p.Device)
 	}
-	if p.Link.BytesPerSec <= 0 {
+	if p.Device.KernelLaunchSec < 0 {
+		return fmt.Errorf("hw: negative kernel launch overhead %v", p.Device.KernelLaunchSec)
+	}
+	if p.Link.BytesPerSec <= 0 || p.Link.LatencySec < 0 {
 		return fmt.Errorf("hw: invalid link %+v", p.Link)
+	}
+	if p.Devices < 0 {
+		return fmt.Errorf("hw: negative device count %d", p.Devices)
+	}
+	if p.DeviceCount() > 1 {
+		if p.Interconnect.BytesPerSec <= 0 || p.Interconnect.LatencySec < 0 {
+			return fmt.Errorf("hw: %d devices but invalid interconnect %+v", p.Devices, p.Interconnect)
+		}
 	}
 	return nil
 }
@@ -136,18 +170,54 @@ func CPUOnly() Platform {
 	}
 }
 
+// NVLink is a third-generation NVLink-class device fabric.
+func NVLink() Link {
+	return Link{Name: "nvlink3", BytesPerSec: 300 * GB, LatencySec: 2e-6}
+}
+
+// PCIePeer is peer-to-peer DMA over a shared PCIe switch — the fallback
+// fabric for boards without a dedicated link.
+func PCIePeer() Link {
+	return Link{Name: "pcie-peer", BytesPerSec: 13 * GB, LatencySec: 25e-6}
+}
+
 // Profiles returns the named platforms keyed by device name. The "-Ng"
 // variants cap device memory at N GiB — the paper's "manual constraints to
-// simulate various scenarios of application" (§4.1).
+// simulate various scenarios of application" (§4.1) — and the "xN"
+// variants replicate the board N times behind a device interconnect.
 func Profiles() map[string]Platform {
 	return map[string]Platform{
 		"rtx4090":    RTX4090(),
 		"rtx4090-8g": RTX4090().WithMemory(8 * GiB),
+		"rtx4090x2":  RTX4090().WithDevices(2, PCIePeer()),
 		"a100":       A100(),
+		"a100x4":     A100().WithDevices(4, NVLink()),
 		"m90":        M90(),
 		"m90-2g":     M90().WithMemory(2 * GiB),
+		"m90x4":      M90().WithDevices(4, PCIePeer()),
 		"cpu-only":   CPUOnly(),
 	}
+}
+
+// ProfileNames returns the profile keys sorted ascending, so help text
+// and error messages list platforms in a stable order instead of map
+// order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(Profiles()))
+	for name := range Profiles() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WithDevices returns a copy of p with n identical devices joined by the
+// given interconnect.
+func (p Platform) WithDevices(n int, interconnect Link) Platform {
+	out := p
+	out.Devices = n
+	out.Interconnect = interconnect
+	return out
 }
 
 // WithMemory returns a copy of p whose device memory is capped at bytes —

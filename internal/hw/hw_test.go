@@ -110,3 +110,77 @@ func TestCappedVariantsPresent(t *testing.T) {
 		t.Error("capped variant changed compute")
 	}
 }
+
+func TestValidateRejectsNegativeOverheads(t *testing.T) {
+	good := RTX4090()
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+	}{
+		{"negative kernel launch", func(p *Platform) { p.Device.KernelLaunchSec = -1e-6 }},
+		{"negative link latency", func(p *Platform) { p.Link.LatencySec = -1e-6 }},
+		{"negative device count", func(p *Platform) { p.Devices = -1 }},
+		{"multi-device no interconnect", func(p *Platform) { p.Devices = 2 }},
+		{"negative interconnect latency", func(p *Platform) {
+			p.Devices = 2
+			p.Interconnect = Link{Name: "bad", BytesPerSec: 1 * GB, LatencySec: -1}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestProfileNamesSorted(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != len(Profiles()) {
+		t.Fatalf("ProfileNames lists %d profiles, map has %d", len(names), len(Profiles()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	profiles := Profiles()
+	for _, n := range names {
+		if _, ok := profiles[n]; !ok {
+			t.Fatalf("ProfileNames lists unknown profile %q", n)
+		}
+	}
+}
+
+func TestMultiDeviceProfiles(t *testing.T) {
+	profiles := Profiles()
+	for name, wantK := range map[string]int{"rtx4090x2": 2, "a100x4": 4, "m90x4": 4} {
+		p, ok := profiles[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if p.DeviceCount() != wantK {
+			t.Errorf("%s: DeviceCount = %d, want %d", name, p.DeviceCount(), wantK)
+		}
+		if p.Interconnect.BytesPerSec <= 0 {
+			t.Errorf("%s: no interconnect bandwidth", name)
+		}
+	}
+	// Single-device profiles report a count of 1 without setting Devices.
+	if got := RTX4090().DeviceCount(); got != 1 {
+		t.Errorf("single-device DeviceCount = %d, want 1", got)
+	}
+	// WithDevices must not mutate the original.
+	orig := A100()
+	_ = orig.WithDevices(4, NVLink())
+	if orig.Devices != 0 {
+		t.Error("WithDevices mutated the original")
+	}
+	// NVLink-class fabric should be much faster than PCIe peer DMA.
+	if NVLink().BytesPerSec <= PCIePeer().BytesPerSec {
+		t.Error("NVLink not faster than PCIe peer")
+	}
+}

@@ -34,6 +34,20 @@ type Workload struct {
 	// value is the float32 baseline (bitwise-identical accounting to the
 	// pre-precision model).
 	Precision cache.Precision
+	// Devices is the data-parallel device count K (0 or 1 = single
+	// device). K > 1 splits the partitionable per-batch work — transfer,
+	// replacement, compute — across K devices and adds the halo-exchange
+	// and ring all-reduce terms; K = 1 reproduces the single-device model
+	// bitwise.
+	Devices int
+}
+
+// deviceCount returns the effective K (Devices, floored at 1).
+func (w Workload) deviceCount() int {
+	if w.Devices < 1 {
+		return 1
+	}
+	return w.Devices
 }
 
 // Validate checks workload sanity.
@@ -43,6 +57,9 @@ func (w Workload) Validate() error {
 	}
 	if !w.Precision.Valid() {
 		return fmt.Errorf("sim: unknown feature precision %q", w.Precision)
+	}
+	if w.Devices < 0 {
+		return fmt.Errorf("sim: negative device count %d", w.Devices)
 	}
 	return nil
 }
@@ -88,6 +105,16 @@ type BatchVolumes struct {
 	// WalkSteps counts random-walk steps for subgraph samplers (0 for
 	// node/layer-wise); they add host sampling work not captured by edges.
 	WalkSteps int
+	// HaloBytes is the measured device-to-device halo-exchange traffic of
+	// the batch at the scaled feature width (same currency as
+	// TransferBytes): feature rows a partition's consumer fetched from a
+	// remote owner. 0 when single-device.
+	HaloBytes float64
+	// AllReduceBytes is the raw gradient payload |Φ|·4 bytes at *paper*
+	// scale (model size does not grow with VertexScale, so no rescale is
+	// applied); the simulator applies the ring all-reduce wire factor
+	// 2(K-1)/K. 0 when single-device.
+	AllReduceBytes float64
 }
 
 // BatchTiming is the per-component cost of one iteration, in seconds.
@@ -96,13 +123,23 @@ type BatchTiming struct {
 	TTransfer float64 // Eq. 6: host→device feature movement
 	TReplace  float64 // Eq. 5: cache update on device
 	TCompute  float64 // Eq. 8: aggregate/combine forward+backward
+	// THalo prices the device-to-device halo exchange (Eq. 6-style, over
+	// the interconnect). It rides the host side of the pipeline: remote
+	// rows must land before compute consumes the batch, overlapping the
+	// next iteration's device work exactly like host→device transfers.
+	THalo float64
+	// TAllReduce prices the ring all-reduce of gradients after backward.
+	// It rides the device side: the optimizer step serializes behind it.
+	TAllReduce float64
 }
 
-// HostSide returns the host pipeline occupancy t_sample + t_transfer.
-func (t BatchTiming) HostSide() float64 { return t.TSample + t.TTransfer }
+// HostSide returns the host pipeline occupancy t_sample + t_transfer
+// (+ halo exchange on multi-device platforms).
+func (t BatchTiming) HostSide() float64 { return t.TSample + t.TTransfer + t.THalo }
 
-// DeviceSide returns the device pipeline occupancy t_replace + t_compute.
-func (t BatchTiming) DeviceSide() float64 { return t.TReplace + t.TCompute }
+// DeviceSide returns the device pipeline occupancy t_replace + t_compute
+// (+ gradient all-reduce on multi-device platforms).
+func (t BatchTiming) DeviceSide() float64 { return t.TReplace + t.TCompute + t.TAllReduce }
 
 // Critical returns the pipelined per-iteration latency max(host, device),
 // the inner term of Eq. 4.
@@ -145,15 +182,40 @@ func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
 	missBytes := missRows * vs * xferBytes
 	tSample += missBytes / p.Host.GatherBytesPerSec
 
+	// K > 1 splits the per-batch partitionable work across devices: each
+	// device owns ~1/K of the vertex partition, so its share of transfer,
+	// replacement and compute is 1/K (host links and device kernels run
+	// in parallel). Sampling stays whole — it is shared host work. kf = 1
+	// leaves every formula bitwise-identical to the single-device model.
+	kf := float64(w.deviceCount())
+
 	// Eq. 6: t_transfer = f(n_attr · |V_i|(1-hit), Host, Device).
-	tTransfer := missBytes/p.Link.BytesPerSec + p.Link.LatencySec
+	tTransfer := missBytes/kf/p.Link.BytesPerSec + p.Link.LatencySec
 
 	// Eq. 5: t_replace = f(r|V|, |V_i|(1-hit), Device): write the admitted
 	// (quantized) rows and fix the indexing structures.
 	updBytes := float64(v.CacheUpdateOps) * vs * xferBytes
 	var tReplace float64
 	if v.CacheUpdateOps > 0 {
-		tReplace = updBytes/p.Device.MemBytesPerSec + 20e-6
+		tReplace = updBytes/kf/p.Device.MemBytesPerSec + 20e-6
+	}
+
+	// Halo exchange (Eq. 6-style over the device interconnect): the
+	// measured scaled-width halo bytes are rescaled to paper width the
+	// same way miss bytes are, then split across K parallel exchanges.
+	var tHalo float64
+	if v.HaloBytes > 0 && kf > 1 && v.ScaledFeatDim > 0 {
+		haloRows := v.HaloBytes / float64(w.Precision.RowBytes(v.ScaledFeatDim))
+		haloBytes := haloRows * vs * xferBytes
+		tHalo = haloBytes/kf/p.Interconnect.BytesPerSec + p.Interconnect.LatencySec
+	}
+
+	// Ring all-reduce of gradients: each device sends and receives
+	// 2(K-1)/K of the payload over 2(K-1) latency-bound steps.
+	var tAllReduce float64
+	if v.AllReduceBytes > 0 && kf > 1 {
+		wire := 2 * (kf - 1) / kf * v.AllReduceBytes
+		tAllReduce = wire/p.Interconnect.BytesPerSec + 2*(kf-1)*p.Interconnect.LatencySec
 	}
 
 	// Eq. 8: t_compute = f(V_i, M, Device). Rescale the feature-dependent
@@ -165,16 +227,21 @@ func EstimateBatch(v BatchVolumes, p hw.Platform, w Workload) BatchTiming {
 		flops = flops*(1-v.FeatureFLOPShare) + flops*v.FeatureFLOPShare*ratio
 	}
 	flops *= vs
-	// Forward + backward ≈ 3x forward cost (standard rule of thumb).
-	tCompute := 3*flops/(p.Device.EffGFLOPS*1e9) +
+	// Forward + backward ≈ 3x forward cost (standard rule of thumb). Each
+	// of the K devices computes its 1/K vertex share but still launches
+	// every kernel.
+	tCompute := 3*flops/kf/(p.Device.EffGFLOPS*1e9) +
 		float64(2*v.Layers+1)*p.Device.KernelLaunchSec
 	// Memory-bound floor: each sampled edge moves one embedding row.
 	embBytes := float64(v.SampledEdges) * vs * featBytes * 0.5
-	if mem := embBytes / p.Device.MemBytesPerSec; mem > tCompute {
+	if mem := embBytes / kf / p.Device.MemBytesPerSec; mem > tCompute {
 		tCompute = mem
 	}
 
-	return BatchTiming{TSample: tSample, TTransfer: tTransfer, TReplace: tReplace, TCompute: tCompute}
+	return BatchTiming{
+		TSample: tSample, TTransfer: tTransfer, TReplace: tReplace,
+		TCompute: tCompute, THalo: tHalo, TAllReduce: tAllReduce,
+	}
 }
 
 // EpochTime implements Eq. 4: T = n_iter · max(t_sample + t_transfer,
@@ -231,24 +298,32 @@ type MemoryBreakdown struct {
 // Total returns Γ = Γ_model + Γ_cache + Γ_runtime.
 func (m MemoryBreakdown) Total() float64 { return m.Model + m.Cache + m.Runtime }
 
-// EstimateMemory implements Eqs. 9–10.
+// EstimateMemory implements Eqs. 9–10. The breakdown is *per device*: on
+// a K-device platform the model is replicated (data parallelism) while
+// the cache shard and the batch's runtime working set each hold ~1/K of
+// the whole — so adding devices is also a memory-relief knob for
+// FitsDevice, not just a throughput one.
 func EstimateMemory(v MemoryVolumes, w Workload) MemoryBreakdown {
 	bytesPer := w.BytesPerScalar
-	// Γ_model ∝ |Φ|: value + grad + two Adam moments.
+	kf := float64(w.deviceCount())
+	// Γ_model ∝ |Φ|: value + grad + two Adam moments, replicated on every
+	// device.
 	model := float64(v.ModelParams) * bytesPer * 4
 	// Γ_cache = f(r|V| · n_attr) at the feature storage precision:
 	// CacheVertices rows, each occupying the quantized payload plus any
 	// per-row quantization parameters. At float32 this is bitwise the
 	// pre-precision CacheVertices · FeatDim · 4 (scaling by a power of
-	// two commutes with IEEE rounding).
-	cacheB := v.CacheVertices * float64(w.Precision.StorageRowBytes(w.FeatDim))
+	// two commutes with IEEE rounding). Each device shards 1/K of the
+	// capacity (its partition's share).
+	cacheB := v.CacheVertices * float64(w.Precision.StorageRowBytes(w.FeatDim)) / kf
 	// Γ_runtime = f(|V_i|, Φ): input features + activations (forward +
 	// retained for backward → 2x) across layers, plus the per-edge message
-	// buffer scatter-gather frameworks materialize.
-	peak := float64(v.PeakBatchVertices) * w.VertexScale
+	// buffer scatter-gather frameworks materialize. Each device holds its
+	// partition's ~1/K vertex/edge share of the batch.
+	peak := float64(v.PeakBatchVertices) * w.VertexScale / kf
 	runtime := peak * (float64(w.FeatDim) + 2*float64(v.HiddenDims)) * bytesPer
-	runtime += float64(v.PeakBatchEdges) * w.VertexScale * float64(v.MaxWidth) * bytesPer
-	// CUDA-style allocator and kernel workspace overhead.
+	runtime += float64(v.PeakBatchEdges) * w.VertexScale / kf * float64(v.MaxWidth) * bytesPer
+	// CUDA-style allocator and kernel workspace overhead (per device).
 	runtime += 64 * 1024 * 1024
 	return MemoryBreakdown{Model: model, Cache: cacheB, Runtime: runtime}
 }

@@ -251,3 +251,127 @@ func TestWithMemoryCapsCache(t *testing.T) {
 		t.Errorf("FreeForCacheBytes = %v, want 1.5 GiB", got)
 	}
 }
+
+// TestMultiDeviceTiming checks the K-device pricing: partitionable terms
+// split by K, sampling stays whole, and the halo/all-reduce terms match
+// the hand formulas.
+func TestMultiDeviceTiming(t *testing.T) {
+	p := hw.A100().WithDevices(4, hw.NVLink())
+	v := volumes()
+	v.HaloBytes = 1.5e6
+	v.AllReduceBytes = 8e6
+
+	w1 := workload()
+	single := EstimateBatch(v, p, w1)
+	w4 := workload()
+	w4.Devices = 4
+	multi := EstimateBatch(v, p, w4)
+
+	if multi.TSample != single.TSample {
+		t.Errorf("TSample changed with K: %v vs %v (sampling is shared host work)", multi.TSample, single.TSample)
+	}
+	// Transfer: bytes/K over the link plus the unchanged latency.
+	wantTransfer := (single.TTransfer-p.Link.LatencySec)/4 + p.Link.LatencySec
+	if !close(multi.TTransfer, wantTransfer) {
+		t.Errorf("TTransfer = %v, want %v", multi.TTransfer, wantTransfer)
+	}
+	if multi.TCompute >= single.TCompute {
+		t.Errorf("TCompute not reduced by K: %v vs %v", multi.TCompute, single.TCompute)
+	}
+	// Halo: rescale measured bytes to paper width, split across K
+	// parallel exchanges.
+	haloRows := v.HaloBytes / float64(w4.Precision.RowBytes(v.ScaledFeatDim))
+	haloBytes := haloRows * w4.VertexScale * float64(w4.FeatDim) * 4
+	wantHalo := haloBytes/4/p.Interconnect.BytesPerSec + p.Interconnect.LatencySec
+	if !close(multi.THalo, wantHalo) {
+		t.Errorf("THalo = %v, want %v", multi.THalo, wantHalo)
+	}
+	// All-reduce: ring factor 2(K-1)/K on bytes, 2(K-1) latency steps.
+	wantAR := 2*3.0/4*v.AllReduceBytes/p.Interconnect.BytesPerSec + 6*p.Interconnect.LatencySec
+	if !close(multi.TAllReduce, wantAR) {
+		t.Errorf("TAllReduce = %v, want %v", multi.TAllReduce, wantAR)
+	}
+	// The comm terms sit on the right pipeline sides.
+	if got := multi.HostSide(); !close(got, multi.TSample+multi.TTransfer+multi.THalo) {
+		t.Errorf("HostSide = %v missing THalo", got)
+	}
+	if got := multi.DeviceSide(); !close(got, multi.TReplace+multi.TCompute+multi.TAllReduce) {
+		t.Errorf("DeviceSide = %v missing TAllReduce", got)
+	}
+}
+
+// TestSingleDeviceTimingUnchanged pins the K<=1 paths bitwise: Devices 0
+// and 1 price identically, comm volumes are ignored without a second
+// device, and comm terms are zero.
+func TestSingleDeviceTimingUnchanged(t *testing.T) {
+	p := hw.A100()
+	v := volumes()
+	base := EstimateBatch(v, p, workload())
+	v.HaloBytes = 1e6
+	v.AllReduceBytes = 1e6
+	for _, k := range []int{0, 1} {
+		w := workload()
+		w.Devices = k
+		got := EstimateBatch(v, p, w)
+		if got != base {
+			t.Errorf("Devices=%d timing %+v != base %+v", k, got, base)
+		}
+	}
+	if base.THalo != 0 || base.TAllReduce != 0 {
+		t.Errorf("single-device comm terms nonzero: %+v", base)
+	}
+}
+
+// TestMultiDeviceMemory checks the per-device breakdown: model
+// replicated, cache and runtime sharded by K.
+func TestMultiDeviceMemory(t *testing.T) {
+	v := MemoryVolumes{
+		ModelParams: 1e6, CacheVertices: 5e5, PeakBatchVertices: 9000,
+		PeakBatchEdges: 30000, HiddenDims: 96, MaxWidth: 64, Layers: 2,
+	}
+	w1 := workload()
+	single := EstimateMemory(v, w1)
+	w4 := workload()
+	w4.Devices = 4
+	multi := EstimateMemory(v, w4)
+	if multi.Model != single.Model {
+		t.Errorf("model memory changed with K: %v vs %v (replicated)", multi.Model, single.Model)
+	}
+	if !close(multi.Cache, single.Cache/4) {
+		t.Errorf("cache shard = %v, want %v", multi.Cache, single.Cache/4)
+	}
+	const overhead = 64 * 1024 * 1024
+	if !close(multi.Runtime-overhead, (single.Runtime-overhead)/4) {
+		t.Errorf("runtime shard = %v, want %v", multi.Runtime-overhead, (single.Runtime-overhead)/4)
+	}
+	if multi.Total() >= single.Total() {
+		t.Error("K devices did not relieve per-device memory")
+	}
+}
+
+func TestWorkloadValidateDevices(t *testing.T) {
+	w := workload()
+	w.Devices = -1
+	if err := w.Validate(); err == nil {
+		t.Error("negative device count accepted")
+	}
+	w.Devices = 4
+	if err := w.Validate(); err != nil {
+		t.Errorf("4-device workload rejected: %v", err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
